@@ -1,0 +1,19 @@
+//! Baseline comparator: a Tandem-style on-line reorganizer, reimplemented
+//! from §8 of the paper's description of \[Smi90\] ("Online reorganization of
+//! key-sequenced tables and files", Tandem Systems Review 1990).
+//!
+//! The four properties the paper contrasts itself against — and which the
+//! experiments E4/E5/E6 measure — are all reproduced here:
+//!
+//! 1. **Whole-file locking**: every block operation X-locks the entire tree,
+//!    "prevent\[ing\] user transactions from accessing the entire file".
+//! 2. **One transaction per block operation** (block move / merge / swap /
+//!    split): more transaction and locking overhead.
+//! 3. **Two-block granularity**: filling one page to the target fill factor
+//!    may require several transactions.
+//! 4. **Rollback recovery**: an interrupted operation is rolled back, not
+//!    finished forward; its work is lost. Operations log full page images.
+
+pub mod tandem;
+
+pub use tandem::{TandemConfig, TandemReorganizer, TandemStats};

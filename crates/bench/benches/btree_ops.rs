@@ -1,0 +1,62 @@
+//! Microbenchmarks of the B+-tree substrate: point ops and range scans on
+//! a bulk-loaded tree, at sparse and dense fills (the cost the paper's
+//! reorganization removes shows up as the sparse/dense scan gap).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use obr_bench::harness::sparse_database;
+use obr_storage::Lsn;
+use obr_wal::TxnId;
+
+fn bench_search(c: &mut Criterion) {
+    let (_disk, db) = sparse_database(16_384, 20_000, 0.9, 64);
+    let tree = db.tree().clone();
+    let mut k = 0u64;
+    c.bench_function("btree/search/dense", |b| {
+        b.iter(|| {
+            k = (k + 7919) % 20_000;
+            black_box(tree.search(k).unwrap())
+        })
+    });
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let (_disk, db) = sparse_database(65_536, 1_000, 0.9, 64);
+    let tree = db.tree().clone();
+    let mut k = 1_000_000u64;
+    let v = vec![0u8; 64];
+    // Insert + delete per iteration keeps the tree size stable no matter
+    // how many samples Criterion takes (a pure-insert loop eventually
+    // exhausts the disk).
+    c.bench_function("btree/insert+delete", |b| {
+        b.iter(|| {
+            k += 1;
+            tree.insert(TxnId(1), Lsn::ZERO, k, &v).unwrap();
+            black_box(tree.delete(TxnId(1), Lsn::ZERO, k).unwrap());
+        })
+    });
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let (_disk, dense) = sparse_database(32_768, 20_000, 0.9, 64);
+    let (_disk2, sparse) = sparse_database(32_768, 20_000, 0.25, 64);
+    c.bench_function("btree/scan1k/dense", |b| {
+        b.iter(|| black_box(dense.tree().range_scan(5_000, 6_000).unwrap()))
+    });
+    c.bench_function("btree/scan1k/sparse", |b| {
+        b.iter(|| black_box(sparse.tree().range_scan(5_000, 6_000).unwrap()))
+    });
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let records: Vec<(u64, Vec<u8>)> = (0..5_000u64).map(|k| (k, vec![0u8; 64])).collect();
+    c.bench_function("btree/bulk_load/5k", |b| {
+        b.iter(|| {
+            let (_d, db) = sparse_database(16_384, 1, 0.9, 64);
+            db.tree().bulk_load(black_box(&records), 0.9, 0.9).unwrap();
+        })
+    });
+}
+
+criterion_group!(benches, bench_search, bench_insert, bench_scan, bench_bulk_load);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Lock manager microbenchmarks: grant/release throughput for the classical
+//! and the paper's modes, including the instant-duration RS path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use obr_lock::{LockManager, LockMode, OwnerId, ResourceId};
+
+fn bench_uncontended(c: &mut Criterion) {
+    let m = LockManager::new();
+    let mut i = 0u32;
+    c.bench_function("lock/s-grant-release", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let r = ResourceId::Page(i % 1024);
+            m.lock(OwnerId(1), r, LockMode::S).unwrap();
+            m.unlock(OwnerId(1), r);
+        })
+    });
+    c.bench_function("lock/x-grant-release", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let r = ResourceId::Page(i % 1024);
+            m.lock(OwnerId(1), r, LockMode::X).unwrap();
+            m.unlock(OwnerId(1), r);
+        })
+    });
+}
+
+fn bench_shared_holders(c: &mut Criterion) {
+    let m = LockManager::new();
+    let r = ResourceId::Page(7);
+    for o in 0..16 {
+        m.lock(OwnerId(o), r, LockMode::S).unwrap();
+    }
+    c.bench_function("lock/s-grant-16-holders", |b| {
+        b.iter(|| {
+            m.lock(OwnerId(99), r, LockMode::S).unwrap();
+            m.unlock(OwnerId(99), r);
+        })
+    });
+}
+
+fn bench_rx_forgo(c: &mut Criterion) {
+    let m = LockManager::new();
+    let r = ResourceId::Page(3);
+    m.lock(OwnerId(9), r, LockMode::RX).unwrap();
+    c.bench_function("lock/rx-forgo-fastpath", |b| {
+        b.iter(|| {
+            // The forgo path must return immediately without queueing.
+            black_box(m.lock(OwnerId(1), r, LockMode::S).unwrap_err());
+        })
+    });
+}
+
+fn bench_instant_rs(c: &mut Criterion) {
+    let m = LockManager::new();
+    let base = ResourceId::Page(11);
+    m.lock(OwnerId(1), base, LockMode::S).unwrap();
+    c.bench_function("lock/instant-rs-grantable", |b| {
+        b.iter(|| {
+            // Grantable immediately (only readers hold the base page).
+            m.lock_instant(OwnerId(2), base, LockMode::RS).unwrap();
+        })
+    });
+}
+
+fn bench_upgrade(c: &mut Criterion) {
+    let m = LockManager::new();
+    let mut i = 0u32;
+    c.bench_function("lock/r-to-x-upgrade", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let r = ResourceId::Page(i % 1024);
+            m.lock(OwnerId(9), r, LockMode::R).unwrap();
+            m.lock(OwnerId(9), r, LockMode::X).unwrap();
+            m.unlock(OwnerId(9), r);
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_uncontended,
+    bench_shared_holders,
+    bench_rx_forgo,
+    bench_instant_rs,
+    bench_upgrade
+);
+criterion_main!(benches);

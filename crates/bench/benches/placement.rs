@@ -1,0 +1,66 @@
+//! Free-space-map benchmarks: the §6.1 placement query (`first empty page
+//! in (L, C)`) against the naive policies, on synthetic occupancy patterns.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use obr_storage::{FreeSpaceMap, PageId};
+
+fn synthetic_fsm(pages: u32, every: u32) -> FreeSpaceMap {
+    let fsm = FreeSpaceMap::new_all_allocated(pages);
+    let mut i = every;
+    while i < pages {
+        fsm.free(PageId(i));
+        i += every;
+    }
+    fsm
+}
+
+fn bench_first_free_in(c: &mut Criterion) {
+    let fsm = synthetic_fsm(65_536, 9);
+    let mut l = 0u32;
+    c.bench_function("fsm/first_free_in-window", |b| {
+        b.iter(|| {
+            l = (l + 97) % 60_000;
+            black_box(fsm.first_free_in(PageId(l), PageId(l + 4_000)))
+        })
+    });
+}
+
+fn bench_allocate_free_cycle(c: &mut Criterion) {
+    let fsm = FreeSpaceMap::new_all_free(65_536);
+    c.bench_function("fsm/allocate-free-cycle", |b| {
+        b.iter(|| {
+            let p = fsm.allocate().unwrap();
+            fsm.free(black_box(p));
+        })
+    });
+}
+
+fn bench_allocate_in(c: &mut Criterion) {
+    let fsm = synthetic_fsm(65_536, 5);
+    let mut l = 0u32;
+    c.bench_function("fsm/allocate_in-and-free", |b| {
+        b.iter(|| {
+            l = (l + 31) % 60_000;
+            if let Some(p) = fsm.allocate_in(PageId(l), PageId(l + 100)) {
+                fsm.free(p);
+            }
+        })
+    });
+}
+
+fn bench_free_pages_snapshot(c: &mut Criterion) {
+    let fsm = synthetic_fsm(65_536, 7);
+    c.bench_function("fsm/free_pages-snapshot", |b| {
+        b.iter(|| black_box(fsm.free_pages().len()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_first_free_in,
+    bench_allocate_free_cycle,
+    bench_allocate_in,
+    bench_free_pages_snapshot
+);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Benchmarks of the reorganization passes themselves: how long compacting,
+//! ordering, and shrinking take, and the cost of a single unit.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
+
+use obr_bench::harness::sparse_database;
+use obr_core::{PlacementPolicy, ReorgConfig, Reorganizer};
+
+fn cfg(swap: bool, shrink: bool) -> ReorgConfig {
+    ReorgConfig {
+        swap_pass: swap,
+        shrink_pass: shrink,
+        ..ReorgConfig::default()
+    }
+}
+
+fn bench_pass1(c: &mut Criterion) {
+    c.bench_function("reorg/pass1/2k-records-f0.25", |b| {
+        b.iter_batched(
+            || sparse_database(16_384, 2_000, 0.25, 64),
+            |(_disk, db)| {
+                Reorganizer::new(Arc::clone(&db), cfg(false, false))
+                    .pass1_compact()
+                    .unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_pass2(c: &mut Criterion) {
+    c.bench_function("reorg/pass1+2/2k-records-f0.25", |b| {
+        b.iter_batched(
+            || sparse_database(16_384, 2_000, 0.25, 64),
+            |(_disk, db)| {
+                let r = Reorganizer::new(Arc::clone(&db), cfg(true, false));
+                r.pass1_compact().unwrap();
+                r.pass2_swap_move().unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_pass3(c: &mut Criterion) {
+    c.bench_function("reorg/pass3/2k-records", |b| {
+        b.iter_batched(
+            || {
+                let (d, db) = sparse_database(16_384, 2_000, 0.25, 64);
+                // Tall tree so the shrink has work.
+                let recs = db.tree().collect_all().unwrap();
+                db.tree().bulk_load(&recs, 0.9, 0.1).unwrap();
+                (d, db)
+            },
+            |(_disk, db)| {
+                Reorganizer::new(Arc::clone(&db), cfg(false, true))
+                    .pass3_shrink()
+                    .unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_placement_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reorg/placement-full-run");
+    for (name, p) in [
+        ("heuristic", PlacementPolicy::Heuristic),
+        ("in-place", PlacementPolicy::InPlaceOnly),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || sparse_database(16_384, 2_000, 0.25, 64),
+                |(_disk, db)| {
+                    let mut cfg = cfg(true, false);
+                    cfg.placement = p;
+                    let r = Reorganizer::new(Arc::clone(&db), cfg);
+                    r.pass1_compact().unwrap();
+                    r.pass2_swap_move().unwrap();
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pass1, bench_pass2, bench_pass3, bench_placement_policies);
+
+// Appended ablations (DESIGN.md "design choices called out for ablation").
+
+fn bench_stable_interval_ablation(c: &mut criterion::Criterion) {
+    // §7.3 stable points trade force-write I/O for restart position: a
+    // smaller interval means more flushes during pass 3.
+    let mut group = c.benchmark_group("reorg/pass3-stable-interval");
+    for interval in [2usize, 5, 20] {
+        group.bench_function(format!("every-{interval}-bases"), |b| {
+            b.iter_batched(
+                || {
+                    let (d, db) = sparse_database(16_384, 4_000, 0.9, 64);
+                    let recs = db.tree().collect_all().unwrap();
+                    db.tree().bulk_load(&recs, 0.9, 0.05).unwrap();
+                    (d, db)
+                },
+                |(_disk, db)| {
+                    let cfg = ReorgConfig {
+                        swap_pass: false,
+                        stable_interval: interval,
+                        ..ReorgConfig::default()
+                    };
+                    Reorganizer::new(Arc::clone(&db), cfg).pass3_shrink().unwrap();
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_target_fill_ablation(c: &mut criterion::Criterion) {
+    // Unit size d ≈ f2/f1: higher targets mean larger units (fewer, longer
+    // lock holds) — the granularity trade-off of §6.
+    let mut group = c.benchmark_group("reorg/pass1-target-fill");
+    for f2 in [0.7f64, 0.9, 1.0] {
+        group.bench_function(format!("f2={f2}"), |b| {
+            b.iter_batched(
+                || sparse_database(16_384, 2_000, 0.2, 64),
+                |(_disk, db)| {
+                    let cfg = ReorgConfig {
+                        target_fill: f2,
+                        swap_pass: false,
+                        shrink_pass: false,
+                        ..ReorgConfig::default()
+                    };
+                    Reorganizer::new(Arc::clone(&db), cfg).pass1_compact().unwrap();
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_stable_interval_ablation,
+    bench_target_fill_ablation
+);
+criterion_main!(benches, ablations);

@@ -1,0 +1,65 @@
+//! Throughput of the transactional layer (sessions + lock protocols), with
+//! and without a reorganizer running — the microbench form of E4.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use obr_bench::harness::sparse_database;
+use obr_core::{ReorgConfig, Reorganizer};
+use obr_txn::{run_workload, KeyDist, Session, WorkloadConfig};
+
+fn bench_point_ops(c: &mut Criterion) {
+    let (_disk, db) = sparse_database(16_384, 10_000, 0.9, 64);
+    let session = Session::new(Arc::clone(&db));
+    let mut k = 0u64;
+    c.bench_function("txn/read", |b| {
+        b.iter(|| {
+            k = (k + 4099) % 10_000;
+            session.read(k).unwrap()
+        })
+    });
+    let mut next = 10_000_000u64;
+    // Paired with a delete so the tree stays bounded across samples.
+    c.bench_function("txn/insert+delete-commit", |b| {
+        b.iter(|| {
+            next += 1;
+            session.insert(next, &[0u8; 64]).unwrap();
+            session.delete(next).unwrap();
+        })
+    });
+}
+
+fn bench_mixed_during_reorg(c: &mut Criterion) {
+    c.bench_function("txn/200ms-mix-during-pass1", |b| {
+        b.iter(|| {
+            let (_disk, db) = sparse_database(32_768, 3_000, 0.25, 64);
+            let stop = AtomicBool::new(false);
+            std::thread::scope(|s| {
+                let dbr = Arc::clone(&db);
+                s.spawn(move || {
+                    let cfg = ReorgConfig {
+                        swap_pass: false,
+                        shrink_pass: false,
+                        ..ReorgConfig::default()
+                    };
+                    Reorganizer::new(dbr, cfg).pass1_compact().unwrap();
+                });
+                let wl = WorkloadConfig {
+                    readers: 2,
+                    updaters: 1,
+                    key_space: 3_000,
+                    duration: Duration::from_millis(200),
+                    dist: KeyDist::Uniform,
+                    ..WorkloadConfig::default()
+                };
+                run_workload(&db, &wl, &stop)
+            })
+        })
+    });
+}
+
+criterion_group!(benches, bench_point_ops, bench_mixed_during_reorg);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Experiment runner: regenerates every exhibit of the paper.
+//!
+//! ```text
+//! experiments [--exp e1|e2|...|e8|all] [--scale N]
+//! ```
+
+use obr_bench::experiments::{self, Scale};
+
+fn main() {
+    let mut exp = "all".to_string();
+    let mut scale = Scale(1);
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--exp" => exp = args.next().unwrap_or_else(|| "all".into()),
+            "--scale" => {
+                scale = Scale(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(1)
+                        .max(1),
+                )
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--exp e1..e8|all] [--scale N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out = match exp.as_str() {
+        "e1" => experiments::e1_lock_matrix(scale),
+        "e2" => experiments::e2_three_passes(scale),
+        "e3" => experiments::e3_placement(scale),
+        "e4" => experiments::e4_concurrency(scale),
+        "e5" => experiments::e5_forward_recovery(scale),
+        "e6" => experiments::e6_log_volume(scale),
+        "e7" => experiments::e7_pass3_availability(scale),
+        "e8" => experiments::e8_degradation(scale),
+        "all" => experiments::run_all(scale),
+        other => {
+            eprintln!("unknown experiment {other}; use e1..e8 or all");
+            std::process::exit(2);
+        }
+    };
+    println!("{out}");
+}

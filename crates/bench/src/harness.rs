@@ -1,0 +1,154 @@
+//! Shared setup and table-printing helpers for the experiments.
+
+use std::sync::Arc;
+
+use obr_btree::SidePointerMode;
+use obr_core::Database;
+use obr_storage::{DiskManager, InMemoryDisk};
+
+/// A printable table row.
+pub type Row = Vec<String>;
+
+/// Render a fixed-width table with a header.
+pub fn table(title: &str, header: &[&str], rows: &[Row]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    let mut line = String::new();
+    for (h, w) in header.iter().zip(&widths) {
+        line.push_str(&format!("{h:>w$}  ", w = w));
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (c, w) in row.iter().zip(&widths) {
+            line.push_str(&format!("{c:>w$}  ", w = w));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// A value with a fixed 64-byte body, tagged by its key.
+pub fn value_for(k: u64, len: usize) -> Vec<u8> {
+    let mut v = k.to_le_bytes().to_vec();
+    v.resize(len, 0xC3);
+    v
+}
+
+/// Build a database whose tree is bulk-loaded at leaf fill `f1` with `n`
+/// sequential records of `value_len` bytes.
+pub fn sparse_database(
+    pages: u32,
+    n: u64,
+    f1: f64,
+    value_len: usize,
+) -> (Arc<InMemoryDisk>, Arc<Database>) {
+    let disk = Arc::new(InMemoryDisk::new(pages));
+    let db = Database::create(
+        Arc::clone(&disk) as Arc<dyn DiskManager>,
+        pages as usize,
+        SidePointerMode::TwoWay,
+    )
+    .expect("create database");
+    let records: Vec<(u64, Vec<u8>)> = (0..n).map(|k| (k, value_for(k, value_len))).collect();
+    db.tree().bulk_load(&records, f1, 0.9).expect("bulk load");
+    (disk, db)
+}
+
+/// Build a database degraded the way real tables degrade: dense bulk load
+/// over even keys, a wave of odd-key inserts (splits scatter new leaves out
+/// of key order), then random deletes down to roughly fill `f1`
+/// (free-at-empty leaves the survivors on sparse pages). Produces both
+/// sparseness *and* physical disorder.
+pub fn churned_database(
+    pages: u32,
+    n: u64,
+    f1: f64,
+    value_len: usize,
+    seed: u64,
+) -> (Arc<InMemoryDisk>, Arc<Database>) {
+    churned_database_with_latency(pages, n, f1, value_len, seed, std::time::Duration::ZERO)
+}
+
+/// [`churned_database`] over a disk that charges per-I/O latency.
+pub fn churned_database_with_latency(
+    pages: u32,
+    n: u64,
+    f1: f64,
+    value_len: usize,
+    seed: u64,
+    latency: std::time::Duration,
+) -> (Arc<InMemoryDisk>, Arc<Database>) {
+    use obr_storage::Lsn;
+    use obr_wal::TxnId;
+    let disk = Arc::new(InMemoryDisk::with_latency(pages, latency));
+    // §6 two-region layout: the first 1/16th of the disk holds meta and
+    // internal pages, so pass 2 can pack leaves with no holes.
+    let db = Database::create_with_regions(
+        Arc::clone(&disk) as Arc<dyn DiskManager>,
+        pages as usize,
+        SidePointerMode::TwoWay,
+        pages / 16,
+    )
+    .expect("create database");
+    let records: Vec<(u64, Vec<u8>)> = (0..n / 2)
+        .map(|k| (k * 2, value_for(k * 2, value_len)))
+        .collect();
+    db.tree().bulk_load(&records, 0.85, 0.9).expect("bulk load");
+    // Insert the odd keys: splits allocate new leaves wherever the FSM has
+    // room, destroying physical key order.
+    for k in 0..n / 2 {
+        let key = k * 2 + 1;
+        db.tree()
+            .insert(TxnId(1), Lsn::ZERO, key, &value_for(key, value_len))
+            .expect("churn insert");
+    }
+    // Random deletes down to ~f1 of a 0.85-full tree.
+    let keep = f1 / 0.85;
+    let mut rng = seed | 1;
+    for key in 0..n {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        if (rng % 10_000) as f64 / 10_000.0 > keep {
+            let _ = db.tree().delete(TxnId(1), Lsn::ZERO, key);
+        }
+    }
+    (disk, db)
+}
+
+/// Cold full-range scan: evict the buffer pool, scan, report disk reads and
+/// seek distance.
+pub fn cold_scan_cost(
+    disk: &Arc<InMemoryDisk>,
+    db: &Arc<Database>,
+) -> (u64, u64) {
+    db.pool().evict_all().expect("evict");
+    disk.reset_stats();
+    let _ = db.tree().range_scan(0, u64::MAX).expect("scan");
+    let s = disk.stats();
+    (s.reads, s.seek_distance)
+}
+
+/// Format a float tersely.
+pub fn f(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}")
+    } else if x >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.3}")
+    }
+}

@@ -1,0 +1,8 @@
+//! Experiment harness reproducing every exhibit and quantitative claim of
+//! the paper (see `DESIGN.md` for the experiment index E1–E8), plus shared
+//! setup helpers used by the Criterion microbenches.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{sparse_database, table, Row};

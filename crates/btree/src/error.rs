@@ -1,0 +1,68 @@
+//! Error types for tree operations.
+
+use std::fmt;
+
+use obr_storage::StorageError;
+
+/// Errors from B+-tree operations.
+#[derive(Debug)]
+pub enum BTreeError {
+    /// An underlying storage error.
+    Storage(StorageError),
+    /// Insert of a key that already exists (the tree is a primary index).
+    KeyExists(u64),
+    /// Delete/update of a key that does not exist.
+    KeyNotFound(u64),
+    /// A single record is too large to ever fit a page.
+    RecordTooLarge(usize),
+    /// The tree image on disk failed an invariant check.
+    Inconsistent(String),
+}
+
+impl fmt::Display for BTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BTreeError::Storage(e) => write!(f, "storage: {e}"),
+            BTreeError::KeyExists(k) => write!(f, "key {k} already exists"),
+            BTreeError::KeyNotFound(k) => write!(f, "key {k} not found"),
+            BTreeError::RecordTooLarge(n) => write!(f, "record of {n} bytes cannot fit a page"),
+            BTreeError::Inconsistent(msg) => write!(f, "tree inconsistent: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BTreeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BTreeError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for BTreeError {
+    fn from(e: StorageError) -> Self {
+        BTreeError::Storage(e)
+    }
+}
+
+/// Convenience alias for tree operations.
+pub type BTreeResult<T> = Result<T, BTreeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_key() {
+        assert!(BTreeError::KeyExists(12).to_string().contains("12"));
+        assert!(BTreeError::KeyNotFound(9).to_string().contains("9"));
+    }
+
+    #[test]
+    fn storage_error_is_wrapped_with_source() {
+        let e = BTreeError::from(StorageError::NoFreePage);
+        assert!(e.to_string().contains("no free page"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

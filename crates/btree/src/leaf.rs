@@ -1,0 +1,568 @@
+//! Typed view over a leaf page.
+//!
+//! Records are stored back-to-back in key order in the page body:
+//! `[key: u64][len: u16][value bytes]`. The slot count and free pointer live
+//! in the page header. Packing in key order keeps the view simple and makes
+//! the *fill fraction* — the quantity the whole paper is about — a direct
+//! function of the free pointer.
+
+use obr_storage::page::HEADER_SIZE;
+use obr_storage::{Page, PageType, StorageError, StorageResult, PAGE_SIZE};
+
+/// Bytes of body available for records in a leaf.
+pub const LEAF_BODY: usize = PAGE_SIZE - HEADER_SIZE;
+
+const REC_OVERHEAD: usize = 8 + 2;
+
+/// Largest value a single record may carry.
+pub const MAX_VALUE: usize = LEAF_BODY - REC_OVERHEAD;
+
+/// A read-only typed view over a leaf page (usable under a shared latch).
+#[derive(Clone, Copy)]
+pub struct LeafRef<'a> {
+    page: &'a Page,
+}
+
+impl<'a> LeafRef<'a> {
+    /// Wrap a leaf page for reading.
+    pub fn new(page: &'a Page) -> LeafRef<'a> {
+        debug_assert_eq!(page.page_type(), Some(PageType::Leaf), "not a leaf page");
+        LeafRef { page }
+    }
+
+    /// Number of records.
+    pub fn count(&self) -> usize {
+        self.page.slot_count() as usize
+    }
+
+    /// True when the leaf holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Bytes of body in use.
+    pub fn used_bytes(&self) -> usize {
+        self.page.free_ptr() as usize - HEADER_SIZE
+    }
+
+    /// Fraction of the body in use (the page fill factor `f`).
+    pub fn fill_fraction(&self) -> f64 {
+        self.used_bytes() as f64 / LEAF_BODY as f64
+    }
+
+    /// Bytes still free.
+    pub fn free_bytes(&self) -> usize {
+        LEAF_BODY - self.used_bytes()
+    }
+
+    fn walk(&self) -> Walk<'a> {
+        Walk {
+            bytes: self.page.bytes(),
+            off: HEADER_SIZE,
+            remaining: self.count(),
+        }
+    }
+
+    /// All records in key order.
+    pub fn records(&self) -> Vec<(u64, Vec<u8>)> {
+        self.walk().map(|(_, k, v)| (k, v.to_vec())).collect()
+    }
+
+    /// All keys in order.
+    pub fn keys(&self) -> Vec<u64> {
+        self.walk().map(|(_, k, _)| k).collect()
+    }
+
+    /// Smallest key, if any.
+    pub fn first_key(&self) -> Option<u64> {
+        self.walk().next().map(|(_, k, _)| k)
+    }
+
+    /// Largest key, if any.
+    pub fn last_key(&self) -> Option<u64> {
+        self.walk().last().map(|(_, k, _)| k)
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: u64) -> Option<Vec<u8>> {
+        for (_, k, v) in self.walk() {
+            if k == key {
+                return Some(v.to_vec());
+            }
+            if k > key {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// True when the key is present.
+    pub fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Records with keys in `[lo, hi]`.
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, Vec<u8>)> {
+        self.walk()
+            .filter(|(_, k, _)| *k >= lo && *k <= hi)
+            .map(|(_, k, v)| (k, v.to_vec()))
+            .collect()
+    }
+}
+
+/// A typed (read/write) view over a leaf page.
+///
+/// The view borrows the [`Page`] mutably; read-only helpers take `&self`.
+pub struct LeafView<'a> {
+    page: &'a mut Page,
+}
+
+impl<'a> LeafView<'a> {
+    /// Wrap an existing leaf page. Debug-asserts the type tag.
+    pub fn new(page: &'a mut Page) -> LeafView<'a> {
+        debug_assert_eq!(page.page_type(), Some(PageType::Leaf), "not a leaf page");
+        LeafView { page }
+    }
+
+    /// Format `page` as an empty leaf and wrap it.
+    pub fn init(page: &'a mut Page) -> LeafView<'a> {
+        page.format(PageType::Leaf, 0);
+        LeafView { page }
+    }
+
+    /// The underlying page.
+    pub fn page(&self) -> &Page {
+        self.page
+    }
+
+    /// The underlying page, mutably.
+    pub fn page_mut(&mut self) -> &mut Page {
+        self.page
+    }
+
+    /// Number of records.
+    pub fn count(&self) -> usize {
+        self.page.slot_count() as usize
+    }
+
+    /// True when the leaf holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Bytes of body in use.
+    pub fn used_bytes(&self) -> usize {
+        self.page.free_ptr() as usize - HEADER_SIZE
+    }
+
+    /// Fraction of the body in use (the page fill factor `f`).
+    pub fn fill_fraction(&self) -> f64 {
+        self.used_bytes() as f64 / LEAF_BODY as f64
+    }
+
+    /// Bytes still free.
+    pub fn free_bytes(&self) -> usize {
+        LEAF_BODY - self.used_bytes()
+    }
+
+    /// Walk the records, yielding `(offset, key, value_range)`.
+    fn walk(&self) -> Walk<'_> {
+        Walk {
+            bytes: self.page.bytes(),
+            off: HEADER_SIZE,
+            remaining: self.count(),
+        }
+    }
+
+    /// All records in key order.
+    pub fn records(&self) -> Vec<(u64, Vec<u8>)> {
+        self.walk()
+            .map(|(_, k, v)| (k, v.to_vec()))
+            .collect()
+    }
+
+    /// All keys in order.
+    pub fn keys(&self) -> Vec<u64> {
+        self.walk().map(|(_, k, _)| k).collect()
+    }
+
+    /// Smallest key, if any.
+    pub fn first_key(&self) -> Option<u64> {
+        self.walk().next().map(|(_, k, _)| k)
+    }
+
+    /// Largest key, if any.
+    pub fn last_key(&self) -> Option<u64> {
+        self.walk().last().map(|(_, k, _)| k)
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: u64) -> Option<Vec<u8>> {
+        for (_, k, v) in self.walk() {
+            if k == key {
+                return Some(v.to_vec());
+            }
+            if k > key {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// True when the key is present.
+    pub fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Would a record of `value_len` bytes fit?
+    pub fn fits(&self, value_len: usize) -> bool {
+        REC_OVERHEAD + value_len <= self.free_bytes()
+    }
+
+    /// Insert a record, keeping key order. Fails on duplicates and on
+    /// overflow (callers split on [`StorageError::PageFull`]).
+    pub fn insert(&mut self, key: u64, value: &[u8]) -> StorageResult<()> {
+        if value.len() > MAX_VALUE {
+            return Err(StorageError::Corrupt(format!(
+                "value of {} bytes exceeds MAX_VALUE {MAX_VALUE}",
+                value.len()
+            )));
+        }
+        let need = REC_OVERHEAD + value.len();
+        if need > self.free_bytes() {
+            return Err(StorageError::PageFull {
+                page: obr_storage::PageId::INVALID,
+                needed: need,
+                free: self.free_bytes(),
+            });
+        }
+        // Find the insertion offset.
+        let mut ins = self.page.free_ptr() as usize;
+        for (off, k, _) in self.walk() {
+            if k == key {
+                return Err(StorageError::Corrupt(format!("duplicate key {key}")));
+            }
+            if k > key {
+                ins = off;
+                break;
+            }
+        }
+        let end = self.page.free_ptr() as usize;
+        let bytes = self.page.bytes_mut();
+        // Shift the tail right.
+        bytes.copy_within(ins..end, ins + need);
+        bytes[ins..ins + 8].copy_from_slice(&key.to_le_bytes());
+        bytes[ins + 8..ins + 10].copy_from_slice(&(value.len() as u16).to_le_bytes());
+        bytes[ins + 10..ins + 10 + value.len()].copy_from_slice(value);
+        self.page.set_free_ptr((end + need) as u16);
+        self.page.set_slot_count(self.page.slot_count() + 1);
+        if self.page.low_mark() == u64::MAX || key < self.page.low_mark() {
+            // The low mark is "the smallest key on this page when the page
+            // was first created"; for pages filled incrementally we keep it
+            // as the smallest key ever seen, which preserves its use as a
+            // lower bound.
+            self.page.set_low_mark(key);
+        }
+        Ok(())
+    }
+
+    /// Insert, replacing any existing value. Returns the old value.
+    pub fn upsert(&mut self, key: u64, value: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+        let old = self.remove(key);
+        self.insert(key, value)?;
+        Ok(old)
+    }
+
+    /// Remove a record, returning its value.
+    pub fn remove(&mut self, key: u64) -> Option<Vec<u8>> {
+        let mut found: Option<(usize, usize, Vec<u8>)> = None;
+        for (off, k, v) in self.walk() {
+            if k == key {
+                found = Some((off, REC_OVERHEAD + v.len(), v.to_vec()));
+                break;
+            }
+            if k > key {
+                return None;
+            }
+        }
+        let (off, len, value) = found?;
+        let end = self.page.free_ptr() as usize;
+        self.page.bytes_mut().copy_within(off + len..end, off);
+        self.page.set_free_ptr((end - len) as u16);
+        self.page.set_slot_count(self.page.slot_count() - 1);
+        Some(value)
+    }
+
+    /// Remove and return every record, leaving the leaf empty (used by
+    /// compaction MOVEs).
+    pub fn take_all(&mut self) -> Vec<(u64, Vec<u8>)> {
+        let recs = self.records();
+        self.page.set_free_ptr(HEADER_SIZE as u16);
+        self.page.set_slot_count(0);
+        recs
+    }
+
+    /// Append records in bulk. They must all be greater than the current
+    /// last key and sorted; fails with `PageFull` when they do not fit.
+    pub fn extend(&mut self, records: &[(u64, Vec<u8>)]) -> StorageResult<()> {
+        let need: usize = records.iter().map(|(_, v)| REC_OVERHEAD + v.len()).sum();
+        if need > self.free_bytes() {
+            return Err(StorageError::PageFull {
+                page: obr_storage::PageId::INVALID,
+                needed: need,
+                free: self.free_bytes(),
+            });
+        }
+        if let (Some(last), Some((first_new, _))) = (self.last_key(), records.first()) {
+            if *first_new <= last {
+                return Err(StorageError::Corrupt(format!(
+                    "extend would break key order: {first_new} <= {last}"
+                )));
+            }
+        }
+        let mut off = self.page.free_ptr() as usize;
+        let mut prev: Option<u64> = None;
+        for (k, v) in records {
+            if let Some(p) = prev {
+                if *k <= p {
+                    return Err(StorageError::Corrupt(format!(
+                        "extend batch not sorted: {k} after {p}"
+                    )));
+                }
+            }
+            prev = Some(*k);
+            let bytes = self.page.bytes_mut();
+            bytes[off..off + 8].copy_from_slice(&k.to_le_bytes());
+            bytes[off + 8..off + 10].copy_from_slice(&(v.len() as u16).to_le_bytes());
+            bytes[off + 10..off + 10 + v.len()].copy_from_slice(v);
+            off += REC_OVERHEAD + v.len();
+            self.page.set_slot_count(self.page.slot_count() + 1);
+            if self.page.low_mark() == u64::MAX || *k < self.page.low_mark() {
+                self.page.set_low_mark(*k);
+            }
+        }
+        self.page.set_free_ptr(off as u16);
+        Ok(())
+    }
+
+    /// Records with keys in `[lo, hi]`.
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, Vec<u8>)> {
+        self.walk()
+            .filter(|(_, k, _)| *k >= lo && *k <= hi)
+            .map(|(_, k, v)| (k, v.to_vec()))
+            .collect()
+    }
+
+    /// Structural self-check: sorted keys, header consistent with body.
+    pub fn validate(&self) -> StorageResult<()> {
+        let mut prev: Option<u64> = None;
+        let mut n = 0usize;
+        let mut end = HEADER_SIZE;
+        for (off, k, v) in self.walk() {
+            if let Some(p) = prev {
+                if k <= p {
+                    return Err(StorageError::Corrupt(format!(
+                        "leaf keys out of order: {k} after {p}"
+                    )));
+                }
+            }
+            prev = Some(k);
+            n += 1;
+            end = off + REC_OVERHEAD + v.len();
+        }
+        if n != self.count() {
+            return Err(StorageError::Corrupt(format!(
+                "slot count {} but walked {n} records",
+                self.count()
+            )));
+        }
+        if end != self.page.free_ptr() as usize {
+            return Err(StorageError::Corrupt(format!(
+                "free pointer {} but records end at {end}",
+                self.page.free_ptr()
+            )));
+        }
+        Ok(())
+    }
+}
+
+struct Walk<'a> {
+    bytes: &'a [u8],
+    off: usize,
+    remaining: usize,
+}
+
+impl<'a> Iterator for Walk<'a> {
+    type Item = (usize, u64, &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let off = self.off;
+        let key = u64::from_le_bytes(self.bytes[off..off + 8].try_into().unwrap());
+        let len = u16::from_le_bytes(self.bytes[off + 8..off + 10].try_into().unwrap()) as usize;
+        let val = &self.bytes[off + 10..off + 10 + len];
+        self.off = off + REC_OVERHEAD + len;
+        Some((off, key, val))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn leaf() -> Page {
+        let mut p = Page::new();
+        p.format(PageType::Leaf, 0);
+        p
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut p = leaf();
+        let mut v = LeafView::new(&mut p);
+        v.insert(5, b"five").unwrap();
+        v.insert(1, b"one").unwrap();
+        v.insert(3, b"three").unwrap();
+        assert_eq!(v.keys(), vec![1, 3, 5]);
+        assert_eq!(v.get(3).unwrap(), b"three");
+        assert_eq!(v.get(4), None);
+        assert_eq!(v.remove(3).unwrap(), b"three");
+        assert_eq!(v.keys(), vec![1, 5]);
+        assert_eq!(v.remove(3), None);
+        v.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut p = leaf();
+        let mut v = LeafView::new(&mut p);
+        v.insert(1, b"a").unwrap();
+        assert!(v.insert(1, b"b").is_err());
+        assert_eq!(v.get(1).unwrap(), b"a");
+    }
+
+    #[test]
+    fn upsert_replaces() {
+        let mut p = leaf();
+        let mut v = LeafView::new(&mut p);
+        assert_eq!(v.upsert(1, b"a").unwrap(), None);
+        assert_eq!(v.upsert(1, b"bb").unwrap().unwrap(), b"a");
+        assert_eq!(v.get(1).unwrap(), b"bb");
+        assert_eq!(v.count(), 1);
+    }
+
+    #[test]
+    fn page_full_is_reported_not_corrupted() {
+        let mut p = leaf();
+        let mut v = LeafView::new(&mut p);
+        let big = vec![0u8; 1000];
+        let mut n = 0u64;
+        loop {
+            match v.insert(n, &big) {
+                Ok(()) => n += 1,
+                Err(StorageError::PageFull { .. }) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert_eq!(n, 4); // 4 * 1010 = 4040 <= 4064, 5th doesn't fit
+        v.validate().unwrap();
+        assert!(v.fill_fraction() > 0.9);
+    }
+
+    #[test]
+    fn oversized_value_rejected() {
+        let mut p = leaf();
+        let mut v = LeafView::new(&mut p);
+        assert!(v.insert(1, &vec![0u8; MAX_VALUE + 1]).is_err());
+        assert!(v.insert(1, &vec![0u8; MAX_VALUE]).is_ok());
+    }
+
+    #[test]
+    fn take_all_empties_the_leaf() {
+        let mut p = leaf();
+        let mut v = LeafView::new(&mut p);
+        v.insert(2, b"b").unwrap();
+        v.insert(1, b"a").unwrap();
+        let recs = v.take_all();
+        assert_eq!(recs, vec![(1, b"a".to_vec()), (2, b"b".to_vec())]);
+        assert!(v.is_empty());
+        assert_eq!(v.used_bytes(), 0);
+        v.validate().unwrap();
+    }
+
+    #[test]
+    fn extend_appends_sorted_batch() {
+        let mut p = leaf();
+        let mut v = LeafView::new(&mut p);
+        v.insert(1, b"a").unwrap();
+        v.extend(&[(5, b"e".to_vec()), (7, b"g".to_vec())]).unwrap();
+        assert_eq!(v.keys(), vec![1, 5, 7]);
+        v.validate().unwrap();
+        // Out-of-order extends are rejected.
+        assert!(v.extend(&[(6, vec![])]).is_err());
+        assert!(v.extend(&[(9, vec![]), (8, vec![])]).is_err());
+    }
+
+    #[test]
+    fn range_filters_inclusive() {
+        let mut p = leaf();
+        let mut v = LeafView::new(&mut p);
+        for k in [1u64, 3, 5, 7] {
+            v.insert(k, &k.to_le_bytes()).unwrap();
+        }
+        let r = v.range(3, 5);
+        assert_eq!(r.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![3, 5]);
+    }
+
+    #[test]
+    fn low_mark_tracks_smallest_inserted_key() {
+        let mut p = leaf();
+        let mut v = LeafView::new(&mut p);
+        assert_eq!(v.page().low_mark(), u64::MAX);
+        v.insert(10, b"").unwrap();
+        assert_eq!(v.page().low_mark(), 10);
+        v.insert(3, b"").unwrap();
+        assert_eq!(v.page().low_mark(), 3);
+        v.remove(3);
+        // Low mark is a creation-time lower bound; removal does not raise it.
+        assert_eq!(v.page().low_mark(), 3);
+    }
+
+    #[test]
+    fn fill_fraction_reflects_usage() {
+        let mut p = leaf();
+        let mut v = LeafView::new(&mut p);
+        assert_eq!(v.fill_fraction(), 0.0);
+        v.insert(1, &vec![0u8; 2022]).unwrap(); // 2032 bytes = half of 4064
+        assert!((v.fill_fraction() - 0.5).abs() < 0.01);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_leaf_behaves_like_btreemap(ops in prop::collection::vec(
+            (any::<bool>(), 0u64..64, prop::collection::vec(any::<u8>(), 0..32)), 0..200)) {
+            let mut p = leaf();
+            let mut v = LeafView::new(&mut p);
+            let mut model = std::collections::BTreeMap::new();
+            for (is_insert, key, value) in ops {
+                if is_insert {
+                    match v.insert(key, &value) {
+                        Ok(()) => { prop_assert!(model.insert(key, value).is_none()); }
+                        Err(StorageError::PageFull { .. }) => {}
+                        Err(_) => { prop_assert!(model.contains_key(&key)); }
+                    }
+                } else {
+                    prop_assert_eq!(v.remove(key), model.remove(&key));
+                }
+                v.validate().unwrap();
+            }
+            let got: Vec<(u64, Vec<u8>)> = v.records();
+            let want: Vec<(u64, Vec<u8>)> = model.into_iter().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

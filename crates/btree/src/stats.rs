@@ -1,0 +1,84 @@
+//! Tree-shape statistics — the quantities the reorganization improves and
+//! the experiments report: leaf count, fill factor, height, disorder.
+
+use obr_storage::PageId;
+
+/// A snapshot of the physical shape of the tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeStats {
+    /// Tree height (0 = root is a leaf).
+    pub height: u8,
+    /// Number of leaf pages.
+    pub leaf_pages: usize,
+    /// Number of internal pages (all levels, including the root).
+    pub internal_pages: usize,
+    /// Total records in the tree.
+    pub records: u64,
+    /// Mean leaf fill fraction.
+    pub avg_leaf_fill: f64,
+    /// Leaf page ids in key order.
+    pub leaves_in_key_order: Vec<PageId>,
+}
+
+impl TreeStats {
+    /// Number of adjacent leaf pairs (in key order) that are **not**
+    /// physically adjacent on disk — the disorder pass 2 eliminates.
+    pub fn leaf_discontinuities(&self) -> usize {
+        self.leaves_in_key_order
+            .windows(2)
+            .filter(|w| w[1].0 != w[0].0 + 1)
+            .count()
+    }
+
+    /// Sum of |Δ page-id| between key-order-consecutive leaves: the seek
+    /// cost of a full-range scan under our disk model.
+    pub fn scan_seek_distance(&self) -> u64 {
+        self.leaves_in_key_order
+            .windows(2)
+            .map(|w| (w[1].0 as u64).abs_diff(w[0].0 as u64))
+            .sum()
+    }
+
+    /// Total pages the tree occupies.
+    pub fn total_pages(&self) -> usize {
+        self.leaf_pages + self.internal_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(leaves: Vec<u32>) -> TreeStats {
+        TreeStats {
+            height: 1,
+            leaf_pages: leaves.len(),
+            internal_pages: 1,
+            records: 0,
+            avg_leaf_fill: 0.5,
+            leaves_in_key_order: leaves.into_iter().map(PageId).collect(),
+        }
+    }
+
+    #[test]
+    fn contiguous_leaves_have_no_discontinuities() {
+        let s = stats(vec![3, 4, 5, 6]);
+        assert_eq!(s.leaf_discontinuities(), 0);
+        assert_eq!(s.scan_seek_distance(), 3);
+    }
+
+    #[test]
+    fn scattered_leaves_are_counted() {
+        let s = stats(vec![9, 2, 17, 3]);
+        assert_eq!(s.leaf_discontinuities(), 3);
+        assert_eq!(s.scan_seek_distance(), 7 + 15 + 14);
+        assert_eq!(s.total_pages(), 5);
+    }
+
+    #[test]
+    fn single_leaf_is_trivially_ordered() {
+        let s = stats(vec![42]);
+        assert_eq!(s.leaf_discontinuities(), 0);
+        assert_eq!(s.scan_seek_distance(), 0);
+    }
+}

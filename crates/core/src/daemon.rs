@@ -1,0 +1,158 @@
+//! A background reorganization daemon: the deployment shape the paper
+//! implies ("the reorganizer runs in the background as one process", §8) —
+//! it periodically inspects the tree and runs only the passes the
+//! [`ReorgTrigger`] calls for.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::db::Database;
+use crate::error::{CoreError, CoreResult};
+use crate::reorg::{ReorgConfig, ReorgDecision, ReorgTrigger, Reorganizer};
+
+/// Handle to a running background reorganizer.
+pub struct ReorgDaemon {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<CoreResult<Vec<ReorgDecision>>>>,
+    runs: Arc<Mutex<Vec<ReorgDecision>>>,
+}
+
+impl ReorgDaemon {
+    /// Spawn the daemon: every `interval` it evaluates `trigger` and runs
+    /// whichever passes are needed.
+    pub fn spawn(
+        db: Arc<Database>,
+        cfg: ReorgConfig,
+        trigger: ReorgTrigger,
+        interval: Duration,
+    ) -> ReorgDaemon {
+        let stop = Arc::new(AtomicBool::new(false));
+        let runs = Arc::new(Mutex::new(Vec::new()));
+        let stop2 = Arc::clone(&stop);
+        let runs2 = Arc::clone(&runs);
+        let handle = std::thread::Builder::new()
+            .name("obr-reorg-daemon".into())
+            .spawn(move || {
+                let mut decisions = Vec::new();
+                while !stop2.load(Ordering::Relaxed) {
+                    // Sleep in small slices so stop() is responsive.
+                    let mut slept = Duration::ZERO;
+                    while slept < interval && !stop2.load(Ordering::Relaxed) {
+                        let slice = Duration::from_millis(10).min(interval - slept);
+                        std::thread::sleep(slice);
+                        slept += slice;
+                    }
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let reorg = Reorganizer::new(Arc::clone(&db), cfg.clone());
+                    let decision = reorg.run_if_needed(trigger)?;
+                    if decision != ReorgDecision::default() {
+                        decisions.push(decision);
+                        runs2.lock().push(decision);
+                    }
+                }
+                Ok(decisions)
+            })
+            .expect("spawn reorg daemon");
+        ReorgDaemon {
+            stop,
+            handle: Some(handle),
+            runs,
+        }
+    }
+
+    /// Decisions made so far (non-blocking snapshot).
+    pub fn decisions(&self) -> Vec<ReorgDecision> {
+        self.runs.lock().clone()
+    }
+
+    /// Signal the daemon and wait for it to finish its current cycle.
+    /// Returns every non-trivial decision it made.
+    pub fn stop(mut self) -> CoreResult<Vec<ReorgDecision>> {
+        self.stop.store(true, Ordering::Relaxed);
+        match self.handle.take() {
+            Some(h) => h
+                .join()
+                .map_err(|_| CoreError::Recovery("reorg daemon panicked".into()))?,
+            None => Ok(Vec::new()),
+        }
+    }
+}
+
+impl Drop for ReorgDaemon {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obr_btree::SidePointerMode;
+    use obr_storage::{DiskManager, InMemoryDisk};
+
+    fn sparse_db() -> Arc<Database> {
+        let disk = Arc::new(InMemoryDisk::new(8192));
+        let db = Database::create(
+            disk as Arc<dyn DiskManager>,
+            8192,
+            SidePointerMode::TwoWay,
+        )
+        .unwrap();
+        let records: Vec<(u64, Vec<u8>)> = (0..2000u64)
+            .map(|k| (k, vec![0x44; 64]))
+            .collect();
+        db.tree().bulk_load(&records, 0.25, 0.9).unwrap();
+        db
+    }
+
+    #[test]
+    fn daemon_heals_a_degraded_tree_then_idles() {
+        let db = sparse_db();
+        let expected = db.tree().collect_all().unwrap();
+        let daemon = ReorgDaemon::spawn(
+            Arc::clone(&db),
+            ReorgConfig::default(),
+            ReorgTrigger::default(),
+            Duration::from_millis(20),
+        );
+        // Wait until it has acted once.
+        for _ in 0..200 {
+            if !daemon.decisions().is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let decisions = daemon.stop().unwrap();
+        assert!(!decisions.is_empty(), "the sparse tree must trigger a run");
+        assert!(decisions[0].compacted);
+        // Subsequent cycles were no-ops (healthy tree): at most a couple of
+        // decisions total.
+        assert!(decisions.len() <= 2, "{decisions:?}");
+        db.tree().validate().unwrap();
+        assert_eq!(db.tree().collect_all().unwrap(), expected);
+        assert!(db.tree().stats().unwrap().avg_leaf_fill > 0.7);
+    }
+
+    #[test]
+    fn dropping_the_daemon_stops_it() {
+        let db = sparse_db();
+        {
+            let _daemon = ReorgDaemon::spawn(
+                Arc::clone(&db),
+                ReorgConfig::default(),
+                ReorgTrigger::default(),
+                Duration::from_millis(5),
+            );
+            std::thread::sleep(Duration::from_millis(30));
+        } // drop
+        db.tree().validate().unwrap();
+    }
+}

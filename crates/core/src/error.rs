@@ -1,0 +1,84 @@
+//! Error type for the reorganizer and recovery.
+
+use std::fmt;
+
+use obr_btree::BTreeError;
+use obr_lock::LockError;
+use obr_storage::StorageError;
+
+/// Errors from reorganization and recovery.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Underlying storage failure.
+    Storage(StorageError),
+    /// Underlying tree failure.
+    Tree(BTreeError),
+    /// A lock request failed terminally (timeout / unsupported conversion).
+    Lock(LockError),
+    /// An injected fail point fired (crash testing, E5).
+    InjectedCrash(&'static str),
+    /// The reorganizer gave up after repeated deadlocks on one unit.
+    TooManyRetries(String),
+    /// Recovery found the log/disk in an impossible state.
+    Recovery(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "storage: {e}"),
+            CoreError::Tree(e) => write!(f, "tree: {e}"),
+            CoreError::Lock(e) => write!(f, "lock: {e}"),
+            CoreError::InjectedCrash(site) => write!(f, "injected crash at {site}"),
+            CoreError::TooManyRetries(msg) => write!(f, "too many retries: {msg}"),
+            CoreError::Recovery(msg) => write!(f, "recovery: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Storage(e) => Some(e),
+            CoreError::Tree(e) => Some(e),
+            CoreError::Lock(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<BTreeError> for CoreError {
+    fn from(e: BTreeError) -> Self {
+        CoreError::Tree(e)
+    }
+}
+
+impl From<LockError> for CoreError {
+    fn from(e: LockError) -> Self {
+        CoreError::Lock(e)
+    }
+}
+
+/// Convenience alias.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = CoreError::from(StorageError::NoFreePage);
+        assert!(e.to_string().contains("no free page"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(CoreError::InjectedCrash("after-begin")
+            .to_string()
+            .contains("after-begin"));
+    }
+}

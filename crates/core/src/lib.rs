@@ -1,0 +1,37 @@
+//! The paper's contribution: on-line reorganization of sparsely-populated
+//! B+-trees (Salzberg & Zou, SIGMOD 1996).
+//!
+//! * [`reorg::Reorganizer`] — the three-pass algorithm: pass 1 compacts
+//!   leaves (in-place compaction + new-place copy-and-switch with the §6.1
+//!   placement heuristic), pass 2 optionally swaps/moves leaves into
+//!   physical key order, pass 3 rebuilds the upper levels bottom-up behind a
+//!   side file and switches trees (§7.4).
+//! * [`recovery`] — ARIES-style redo + transaction undo, plus the paper's
+//!   **Forward Recovery**: an interrupted reorganization unit is finished,
+//!   not rolled back (§5.1), and an interrupted pass 3 resumes from the last
+//!   stable key (§7.3).
+//! * [`db::Database`] — the assembled engine: disk, buffer pool with careful
+//!   writing, WAL, lock manager, free-space map, tree, reorganization state
+//!   table, and crash simulation.
+//! * [`sidefile::SideFile`] — the §7.2 side file.
+
+pub mod daemon;
+pub mod db;
+pub mod error;
+pub mod pass3;
+pub mod recovery;
+pub mod reorg;
+pub mod sidefile;
+pub mod stats;
+
+pub use daemon::ReorgDaemon;
+pub use db::Database;
+pub use error::{CoreError, CoreResult};
+pub use recovery::{recover, RecoveryReport};
+pub use reorg::{
+    FailPoint, FailSite, LogStrategy, PlacementPolicy, ReorgConfig, ReorgDecision, ReorgStats,
+    ReorgTrigger, Reorganizer,
+};
+pub use pass3::{NewTreeEditor, Pass3Observer, STABLE_ALL_READ};
+pub use sidefile::{SideEntry, SideFile, SideOp};
+pub use stats::DatabaseStats;

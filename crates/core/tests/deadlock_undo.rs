@@ -1,0 +1,85 @@
+//! §5.2: "work must be undone if the reorganizer has already moved records
+//! and gets into a deadlock situation." This test engineers exactly that —
+//! a user holds an S lock on the unit's base page (so the reorganizer's
+//! R→X upgrade must wait *after* its MOVEs were applied), then the user
+//! requests the tree lock in X, closing a cycle. The reorganizer is always
+//! the victim: it must undo the unit with compensating MOVE records, give
+//! up its locks, and succeed on retry.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use obr_btree::SidePointerMode;
+use obr_core::{Database, ReorgConfig, Reorganizer};
+use obr_lock::{LockMode, ResourceId};
+use obr_storage::{DiskManager, InMemoryDisk};
+
+fn val(k: u64) -> Vec<u8> {
+    let mut v = k.to_le_bytes().to_vec();
+    v.resize(64, 0x99);
+    v
+}
+
+#[test]
+fn reorganizer_undoes_moved_records_when_victimized() {
+    let disk = Arc::new(InMemoryDisk::new(8192));
+    let db = Database::create(
+        Arc::clone(&disk) as Arc<dyn DiskManager>,
+        8192,
+        SidePointerMode::TwoWay,
+    )
+    .unwrap();
+    let records: Vec<(u64, Vec<u8>)> = (0..1500u64).map(|k| (k, val(k))).collect();
+    db.tree().bulk_load(&records, 0.25, 0.9).unwrap();
+    let expected = db.tree().collect_all().unwrap();
+    let first_base = db.tree().base_pages().unwrap()[0];
+    let gen = db.tree().generation().unwrap();
+
+    // The user reads the base page (S is compatible with the reorganizer's
+    // R, so the unit proceeds all the way through its MOVEs).
+    let user = db.new_owner();
+    db.locks()
+        .lock(user, ResourceId::Page(first_base.0), LockMode::S)
+        .unwrap();
+
+    let reorg = Reorganizer::new(
+        Arc::clone(&db),
+        ReorgConfig {
+            swap_pass: false,
+            shrink_pass: false,
+            ..ReorgConfig::default()
+        },
+    );
+    std::thread::scope(|s| {
+        let handle = s.spawn(|| reorg.pass1_compact());
+        // Give the first unit time to move its records and block on the
+        // base-page X upgrade (our S lock holds it back).
+        std::thread::sleep(Duration::from_millis(150));
+        // Close the cycle: the user now wants the tree lock in X, which the
+        // reorganizer holds in IX. Deadlock; the reorganizer is the victim.
+        let locks = Arc::clone(db.locks());
+        let user_wait = s.spawn(move || locks.lock(user, ResourceId::Tree(gen), LockMode::X));
+        // Once the reorganizer has been victimized (and undone its unit),
+        // its released IX lets the user's X through.
+        user_wait.join().unwrap().unwrap();
+        // Let the reorganizer retry against our still-held locks once or
+        // twice, then get out of the way entirely.
+        std::thread::sleep(Duration::from_millis(50));
+        db.locks().release_all(user);
+        handle.join().unwrap().unwrap();
+    });
+
+    let stats = reorg.stats();
+    assert!(
+        stats.units_undone >= 1,
+        "the victimized unit must be undone via compensating moves: {stats:?}"
+    );
+    assert!(
+        stats.deadlock_retries >= 1,
+        "the reorganizer must have retried after the deadlock: {stats:?}"
+    );
+    // And the reorganization still completed correctly afterwards.
+    db.tree().validate().unwrap();
+    assert_eq!(db.tree().collect_all().unwrap(), expected);
+    assert!(db.tree().stats().unwrap().avg_leaf_fill > 0.7);
+}

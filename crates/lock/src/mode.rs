@@ -1,0 +1,246 @@
+//! Lock modes and the Table-1 compatibility matrix.
+
+use std::fmt;
+
+/// A lock mode. `R`, `RX`, and `RS` are the paper's additions (§4).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LockMode {
+    /// Intention share (tree lock / record-level locking on leaves).
+    IS,
+    /// Intention exclusive (tree lock / record-level locking on leaves).
+    IX,
+    /// Share.
+    S,
+    /// Exclusive.
+    X,
+    /// Reorganizer read lock on base pages; compatible with S.
+    R,
+    /// Reorganizer exclusive on leaf pages; conflicting requests are
+    /// *forgone*, not queued.
+    RX,
+    /// Instant-duration mode used by blocked readers/updaters on the base
+    /// page; never actually granted.
+    RS,
+}
+
+impl LockMode {
+    /// All modes, in the paper's Table-1 order.
+    pub const ALL: [LockMode; 7] = [
+        LockMode::IS,
+        LockMode::IX,
+        LockMode::S,
+        LockMode::X,
+        LockMode::R,
+        LockMode::RX,
+        LockMode::RS,
+    ];
+
+    /// Modes that can be *held* (RS is instant-duration and never granted,
+    /// so it has no row in the granted dimension of Table 1).
+    pub const GRANTABLE: [LockMode; 6] = [
+        LockMode::IS,
+        LockMode::IX,
+        LockMode::S,
+        LockMode::X,
+        LockMode::R,
+        LockMode::RX,
+    ];
+
+    /// Table 1: is `requested` compatible with a held `self`?
+    ///
+    /// The paper leaves some cells blank ("won't be requested together by
+    /// different requesters", e.g. leaf-only vs base-only modes); those are
+    /// resolved conservatively as shown by [`compatibility_is_defined`].
+    ///
+    /// [`compatibility_is_defined`]: LockMode::compatibility_is_defined
+    pub fn compatible_with(self, requested: LockMode) -> bool {
+        use LockMode::*;
+        match (self, requested) {
+            // RX is compatible with nothing, in either direction.
+            (RX, _) | (_, RX) => false,
+            // X is compatible with nothing.
+            (X, _) | (_, X) => false,
+            // RS requested: blocked exactly by the reorganizer's base-page
+            // modes (R, and X via the arm above); readers don't block it.
+            (R, RS) => false,
+            (_, RS) => true,
+            // RS is never granted, but resolve the row conservatively.
+            (RS, _) => true,
+            // R: read-only, so compatible with other read-only modes.
+            (R, S) | (S, R) | (R, R) | (R, IS) | (IS, R) => true,
+            (R, IX) | (IX, R) => false,
+            // Classical core.
+            (IS, IS) | (IS, IX) | (IS, S) => true,
+            (IX, IS) | (IX, IX) => true,
+            (IX, S) => false,
+            (S, IS) | (S, S) => true,
+            (S, IX) => false,
+        }
+    }
+
+    /// True when the paper's Table 1 explicitly fills in this cell;
+    /// false for cells the paper leaves blank (mode pairs that are never
+    /// requested together by different requesters).
+    /// Mode usage by page level: IS/IX/S/X/RX occur on leaf pages (and
+    /// IS/IX on the tree lock); S/X/R/RS occur on base pages. A cell is
+    /// blank when its two modes never meet on the same resource.
+    pub fn compatibility_is_defined(self, requested: LockMode) -> bool {
+        use LockMode::*;
+        !matches!(
+            (self, requested),
+            (RS, _)
+                | (IS, R)
+                | (IS, RS)
+                | (IX, R)
+                | (IX, RS)
+                | (R, IS)
+                | (R, IX)
+                | (RX, R)
+                | (RX, RS)
+        )
+    }
+
+    /// True when holding `self` also satisfies a request for `other`
+    /// (no second lock needed).
+    pub fn covers(self, other: LockMode) -> bool {
+        use LockMode::*;
+        if self == other {
+            return true;
+        }
+        match (self, other) {
+            (X, _) => true,
+            (S, IS) => true,
+            (IX, IS) => true,
+            (RX, X) => false, // RX and X differ in conflict action; never substitute
+            _ => false,
+        }
+    }
+
+    /// The combined mode when an owner holding `self` requests `other`
+    /// (lock conversion), when supported.
+    pub fn join(self, other: LockMode) -> Option<LockMode> {
+        use LockMode::*;
+        if self.covers(other) {
+            return Some(self);
+        }
+        if other.covers(self) {
+            return Some(other);
+        }
+        match (self, other) {
+            (IS, IX) | (IX, IS) => Some(IX),
+            (S, IX) | (IX, S) => Some(X), // SIX is not modelled; escalate
+            (R, X) | (X, R) => Some(X),   // the reorganizer's base-page upgrade
+            (S, R) | (R, S) => Some(R),
+            (R, RX) | (RX, R) => Some(RX),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LockMode::IS => "IS",
+            LockMode::IX => "IX",
+            LockMode::S => "S",
+            LockMode::X => "X",
+            LockMode::R => "R",
+            LockMode::RX => "RX",
+            LockMode::RS => "RS",
+        };
+        f.pad(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::LockMode::*;
+    use super::*;
+
+    /// The compatibility cells stated explicitly in the paper's Table 1 and
+    /// accompanying text.
+    #[test]
+    fn matrix_matches_paper_table_1() {
+        // Classical core.
+        assert!(IS.compatible_with(IS));
+        assert!(IS.compatible_with(IX));
+        assert!(IS.compatible_with(S));
+        assert!(!IS.compatible_with(X));
+        assert!(IX.compatible_with(IS));
+        assert!(IX.compatible_with(IX));
+        assert!(!IX.compatible_with(S));
+        assert!(!IX.compatible_with(X));
+        assert!(S.compatible_with(IS));
+        assert!(!S.compatible_with(IX));
+        assert!(S.compatible_with(S));
+        assert!(!S.compatible_with(X));
+        for m in LockMode::ALL {
+            assert!(!X.compatible_with(m), "X must conflict with {m}");
+        }
+        // "The R mode ... is compatible with the S lock."
+        assert!(R.compatible_with(S));
+        assert!(S.compatible_with(R));
+        // "The RX mode is not compatible with any lock mode."
+        for m in LockMode::GRANTABLE {
+            assert!(!RX.compatible_with(m), "RX must conflict with {m}");
+            assert!(!m.compatible_with(RX), "{m} must conflict with RX");
+        }
+        // "The RS mode is not compatible with R."
+        assert!(!R.compatible_with(RS));
+        // RS must not be blocked by ordinary readers on the base page.
+        assert!(S.compatible_with(RS));
+    }
+
+    #[test]
+    fn rs_is_blocked_exactly_by_reorganizer_modes_on_base_pages() {
+        // While the reorganizer holds R, or has upgraded to X, RS waits.
+        assert!(!R.compatible_with(RS));
+        assert!(!X.compatible_with(RS));
+        // Once those are gone, RS becomes grantable even with readers around.
+        assert!(S.compatible_with(RS));
+        assert!(IS.compatible_with(RS));
+    }
+
+    #[test]
+    fn covers_is_reflexive_and_x_dominates() {
+        for m in LockMode::ALL {
+            assert!(m.covers(m));
+        }
+        for m in LockMode::ALL {
+            assert!(X.covers(m));
+        }
+        assert!(S.covers(IS));
+        assert!(!IS.covers(S));
+        assert!(!RX.covers(X));
+    }
+
+    #[test]
+    fn join_supports_the_paper_upgrade() {
+        // The reorganizer upgrades its R lock on base pages to X (§4.1.1).
+        assert_eq!(R.join(X), Some(X));
+        assert_eq!(IS.join(IX), Some(IX));
+        assert_eq!(S.join(X), Some(X));
+        assert_eq!(R.join(RX), Some(RX));
+        assert_eq!(RX.join(S), None);
+    }
+
+    #[test]
+    fn defined_cells_cover_the_printed_table() {
+        // Every classical cell is defined.
+        for g in [IS, IX, S, X] {
+            for r in [IS, IX, S, X] {
+                assert!(g.compatibility_is_defined(r), "{g} x {r}");
+            }
+        }
+        // Blanks: RS never appears as granted.
+        for r in LockMode::ALL {
+            assert!(!RS.compatibility_is_defined(r));
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        let names: Vec<String> = LockMode::ALL.iter().map(|m| m.to_string()).collect();
+        assert_eq!(names, vec!["IS", "IX", "S", "X", "R", "RX", "RS"]);
+    }
+}

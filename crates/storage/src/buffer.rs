@@ -1,0 +1,570 @@
+//! Buffer pool with WAL coupling and *careful writing* \[LT95\].
+//!
+//! Two ordering rules make the paper's logging economies safe (§5):
+//!
+//! 1. **WAL**: before a dirty page is written, the log is flushed up to that
+//!    page's LSN (via the [`WalFlush`] hook).
+//! 2. **Careful writing**: a page may carry *write-order dependencies* — it
+//!    cannot reach disk before its prerequisite pages are durable. The
+//!    reorganizer uses this so a compaction destination is durable before the
+//!    source page image may be overwritten/deallocated, which is what lets
+//!    MOVE log records carry only keys instead of full record bodies.
+//!
+//! A cycle in the dependency graph is reported as an error: the paper notes
+//! that a *swap* of two pages cannot be protected by careful writing (each
+//! page would have to reach disk before the other), which is exactly why a
+//! swap must log at least one full page image.
+//!
+//! [`BufferPool::simulate_crash`] models a power failure: a caller-chosen
+//! subset of dirty pages (closed under prerequisites, flushed prerequisite
+//! first) reaches disk, all volatile state is dropped, the disk and the log
+//! survive.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::disk::DiskManager;
+use crate::error::{StorageError, StorageResult};
+use crate::page::{Lsn, Page, PageId};
+
+/// Hook the buffer pool uses to enforce write-ahead logging.
+pub trait WalFlush: Send + Sync {
+    /// Make the log durable up to and including `lsn`.
+    fn flush_to(&self, lsn: Lsn);
+}
+
+struct Frame {
+    id: PageId,
+    data: RwLock<Page>,
+    pin: AtomicU32,
+    dirty: AtomicBool,
+    last_used: AtomicU64,
+}
+
+/// A pinned page. Dropping the guard unpins the frame. `write()` marks the
+/// frame dirty; these read/write guards are the *latches* of §4.1.3.
+pub struct FrameGuard {
+    frame: Arc<Frame>,
+}
+
+impl std::fmt::Debug for FrameGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameGuard").field("id", &self.frame.id).finish()
+    }
+}
+
+impl FrameGuard {
+    /// Page id of the pinned frame.
+    pub fn id(&self) -> PageId {
+        self.frame.id
+    }
+
+    /// Shared latch on the page contents.
+    pub fn read(&self) -> RwLockReadGuard<'_, Page> {
+        self.frame.data.read()
+    }
+
+    /// Exclusive latch; marks the frame dirty.
+    pub fn write(&self) -> RwLockWriteGuard<'_, Page> {
+        self.frame.dirty.store(true, Ordering::Release);
+        self.frame.data.write()
+    }
+}
+
+impl Drop for FrameGuard {
+    fn drop(&mut self) {
+        self.frame.pin.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// The buffer pool.
+pub struct BufferPool {
+    disk: Arc<dyn DiskManager>,
+    capacity: usize,
+    frames: Mutex<HashMap<PageId, Arc<Frame>>>,
+    /// dependent -> prerequisite pages that must be durable first.
+    write_deps: Mutex<HashMap<PageId, HashSet<PageId>>>,
+    wal: Mutex<Option<Arc<dyn WalFlush>>>,
+    clock: AtomicU64,
+    flushes: AtomicU64,
+}
+
+impl BufferPool {
+    /// Create a pool of `capacity` frames over `disk`.
+    pub fn new(disk: Arc<dyn DiskManager>, capacity: usize) -> BufferPool {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        BufferPool {
+            disk,
+            capacity,
+            frames: Mutex::new(HashMap::new()),
+            write_deps: Mutex::new(HashMap::new()),
+            wal: Mutex::new(None),
+            clock: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+        }
+    }
+
+    /// Install the WAL flush hook (set once the log manager exists).
+    pub fn set_wal(&self, wal: Arc<dyn WalFlush>) {
+        *self.wal.lock() = Some(wal);
+    }
+
+    /// The underlying disk.
+    pub fn disk(&self) -> &Arc<dyn DiskManager> {
+        &self.disk
+    }
+
+    /// Number of frames currently resident.
+    pub fn resident(&self) -> usize {
+        self.frames.lock().len()
+    }
+
+    /// Configured capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total page flushes performed by this pool.
+    pub fn flush_count(&self) -> u64 {
+        self.flushes.load(Ordering::Relaxed)
+    }
+
+    fn touch(&self, frame: &Frame) {
+        frame
+            .last_used
+            .store(self.clock.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Pin `id`, reading it from disk on a miss.
+    pub fn fetch(&self, id: PageId) -> StorageResult<FrameGuard> {
+        self.fetch_inner(id, true)
+    }
+
+    /// Pin `id` as a brand-new page: no disk read is issued, the frame starts
+    /// as an all-zero page marked dirty. Use right after allocating `id`.
+    pub fn fetch_new(&self, id: PageId) -> StorageResult<FrameGuard> {
+        self.fetch_inner(id, false)
+    }
+
+    fn fetch_inner(&self, id: PageId, read_from_disk: bool) -> StorageResult<FrameGuard> {
+        loop {
+            {
+                let frames = self.frames.lock();
+                if let Some(frame) = frames.get(&id) {
+                    frame.pin.fetch_add(1, Ordering::AcqRel);
+                    self.touch(frame);
+                    return Ok(FrameGuard {
+                        frame: Arc::clone(frame),
+                    });
+                }
+                if frames.len() < self.capacity {
+                    break;
+                }
+            }
+            // Pool at capacity: evict outside the read path, then retry.
+            self.evict_one()?;
+        }
+        // Miss path: read (or zero-init) outside the map lock, then insert.
+        let page = if read_from_disk {
+            self.disk.read_page(id)?
+        } else {
+            Page::new()
+        };
+        let mut frames = self.frames.lock();
+        // Another thread may have inserted meanwhile.
+        if let Some(frame) = frames.get(&id) {
+            frame.pin.fetch_add(1, Ordering::AcqRel);
+            self.touch(frame);
+            return Ok(FrameGuard {
+                frame: Arc::clone(frame),
+            });
+        }
+        let frame = Arc::new(Frame {
+            id,
+            data: RwLock::new(page),
+            pin: AtomicU32::new(1),
+            dirty: AtomicBool::new(!read_from_disk),
+            last_used: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
+        });
+        self.touch(&frame);
+        frames.insert(id, Arc::clone(&frame));
+        Ok(FrameGuard { frame })
+    }
+
+    fn evict_one(&self) -> StorageResult<()> {
+        let victim = {
+            let frames = self.frames.lock();
+            if frames.len() < self.capacity {
+                return Ok(());
+            }
+            frames
+                .values()
+                .filter(|f| f.pin.load(Ordering::Acquire) == 0)
+                .min_by_key(|f| f.last_used.load(Ordering::Relaxed))
+                .map(|f| f.id)
+                .ok_or(StorageError::PoolExhausted)?
+        };
+        self.flush_page(victim)?;
+        let mut frames = self.frames.lock();
+        if let Some(f) = frames.get(&victim) {
+            // Only drop it if still unpinned and clean.
+            if f.pin.load(Ordering::Acquire) == 0 && !f.dirty.load(Ordering::Acquire) {
+                frames.remove(&victim);
+            }
+        }
+        Ok(())
+    }
+
+    /// Record that `dependent` may not reach disk before `prerequisite` is
+    /// durable (careful writing).
+    pub fn add_write_dependency(&self, dependent: PageId, prerequisite: PageId) {
+        if dependent == prerequisite {
+            return;
+        }
+        self.write_deps
+            .lock()
+            .entry(dependent)
+            .or_default()
+            .insert(prerequisite);
+    }
+
+    /// Number of outstanding write-order dependencies (diagnostics).
+    pub fn pending_dependencies(&self) -> usize {
+        self.write_deps.lock().values().map(|s| s.len()).sum()
+    }
+
+    /// Flush `id` (and, first, its transitive prerequisites). A no-op for
+    /// clean or non-resident pages, except that their prerequisites are still
+    /// honoured before the entry is cleared.
+    pub fn flush_page(&self, id: PageId) -> StorageResult<()> {
+        let mut visiting = HashSet::new();
+        self.flush_rec(id, &mut visiting)
+    }
+
+    fn flush_rec(&self, id: PageId, visiting: &mut HashSet<PageId>) -> StorageResult<()> {
+        if !visiting.insert(id) {
+            return Err(StorageError::Corrupt(format!(
+                "write-ordering cycle through page {id}; a swap must log a full page image instead"
+            )));
+        }
+        let prereqs: Vec<PageId> = self
+            .write_deps
+            .lock()
+            .get(&id)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        for p in prereqs {
+            self.flush_rec(p, visiting)?;
+        }
+        self.write_frame(id)?;
+        self.write_deps.lock().remove(&id);
+        visiting.remove(&id);
+        Ok(())
+    }
+
+    fn write_frame(&self, id: PageId) -> StorageResult<()> {
+        let frame = {
+            let frames = self.frames.lock();
+            match frames.get(&id) {
+                Some(f) => Arc::clone(f),
+                None => return Ok(()),
+            }
+        };
+        if !frame.dirty.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let page = frame.data.read();
+        if let Some(wal) = self.wal.lock().clone() {
+            wal.flush_to(page.lsn());
+        }
+        self.disk.write_page(id, &page)?;
+        frame.dirty.store(false, Ordering::Release);
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Flush every dirty page, honouring dependencies.
+    pub fn flush_all(&self) -> StorageResult<()> {
+        let ids: Vec<PageId> = self.frames.lock().keys().copied().collect();
+        for id in ids {
+            self.flush_page(id)?;
+        }
+        self.disk.sync()?;
+        Ok(())
+    }
+
+    /// True when the page is resident and dirty.
+    pub fn is_dirty(&self, id: PageId) -> bool {
+        self.frames
+            .lock()
+            .get(&id)
+            .map(|f| f.dirty.load(Ordering::Acquire))
+            .unwrap_or(false)
+    }
+
+    /// Simulate a crash: flush the dirty pages selected by `keep` — closed
+    /// under write-order prerequisites — then drop all volatile state.
+    /// Returns the pages that made it to disk.
+    ///
+    /// The closure receives each dirty page id; returning `true` means the OS
+    /// happened to write that page out before power was lost. Prerequisites
+    /// of every written page are written too (careful writing guarantees the
+    /// buffer manager never schedules them in the other order).
+    pub fn simulate_crash(&self, mut keep: impl FnMut(PageId) -> bool) -> StorageResult<Vec<PageId>> {
+        let dirty: Vec<PageId> = {
+            let frames = self.frames.lock();
+            frames
+                .values()
+                .filter(|f| f.dirty.load(Ordering::Acquire))
+                .map(|f| f.id)
+                .collect()
+        };
+        let mut chosen: HashSet<PageId> = dirty.iter().copied().filter(|&id| keep(id)).collect();
+        // Close under prerequisites.
+        loop {
+            let mut added = Vec::new();
+            {
+                let deps = self.write_deps.lock();
+                for &id in &chosen {
+                    if let Some(pres) = deps.get(&id) {
+                        for &p in pres {
+                            if !chosen.contains(&p) {
+                                added.push(p);
+                            }
+                        }
+                    }
+                }
+            }
+            if added.is_empty() {
+                break;
+            }
+            chosen.extend(added);
+        }
+        let mut flushed = Vec::new();
+        for &id in &chosen {
+            // flush_page writes prerequisites first; entries already clean
+            // are skipped inside write_frame.
+            self.flush_page(id)?;
+            flushed.push(id);
+        }
+        self.frames.lock().clear();
+        self.write_deps.lock().clear();
+        flushed.sort();
+        Ok(flushed)
+    }
+
+    /// Flush everything and drop all unpinned frames: makes the next reads
+    /// cold (used by experiments to measure real scan I/O).
+    pub fn evict_all(&self) -> StorageResult<()> {
+        self.flush_all()?;
+        let mut frames = self.frames.lock();
+        frames.retain(|_, f| f.pin.load(Ordering::Acquire) > 0);
+        Ok(())
+    }
+
+    /// Drop a page from the pool without writing it (used after
+    /// deallocation: the image is dead).
+    pub fn discard(&self, id: PageId) {
+        self.frames.lock().remove(&id);
+        self.write_deps.lock().remove(&id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::InMemoryDisk;
+    use crate::page::PageType;
+
+    fn pool(pages: u32, cap: usize) -> (Arc<InMemoryDisk>, BufferPool) {
+        let disk = Arc::new(InMemoryDisk::new(pages));
+        let pool = BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskManager>, cap);
+        (disk, pool)
+    }
+
+    #[test]
+    fn fetch_reads_through_and_caches() {
+        let (disk, pool) = pool(4, 4);
+        {
+            let g = pool.fetch(PageId(1)).unwrap();
+            g.write().set_low_mark(99);
+        }
+        // Second fetch must hit the cache: no extra disk read.
+        let before = disk.stats().reads;
+        let g = pool.fetch(PageId(1)).unwrap();
+        assert_eq!(g.read().low_mark(), 99);
+        assert_eq!(disk.stats().reads, before);
+    }
+
+    #[test]
+    fn fetch_new_skips_disk_read() {
+        let (disk, pool) = pool(4, 4);
+        let g = pool.fetch_new(PageId(2)).unwrap();
+        assert_eq!(disk.stats().reads, 0);
+        assert!(pool.is_dirty(PageId(2)));
+        drop(g);
+    }
+
+    #[test]
+    fn flush_writes_dirty_page_to_disk() {
+        let (disk, pool) = pool(4, 4);
+        {
+            let g = pool.fetch(PageId(0)).unwrap();
+            g.write().format(PageType::Leaf, 0);
+        }
+        pool.flush_page(PageId(0)).unwrap();
+        assert!(!pool.is_dirty(PageId(0)));
+        assert_eq!(
+            disk.read_page(PageId(0)).unwrap().page_type(),
+            Some(PageType::Leaf)
+        );
+    }
+
+    #[test]
+    fn eviction_respects_pins_and_capacity() {
+        let (_disk, pool) = pool(8, 2);
+        let g0 = pool.fetch(PageId(0)).unwrap();
+        {
+            let _g1 = pool.fetch(PageId(1)).unwrap();
+        } // unpinned
+        let _g2 = pool.fetch(PageId(2)).unwrap(); // forces eviction of 1
+        assert!(pool.resident() <= 2);
+        drop(g0);
+    }
+
+    #[test]
+    fn all_pinned_pool_is_exhausted() {
+        let (_disk, pool) = pool(8, 2);
+        let _g0 = pool.fetch(PageId(0)).unwrap();
+        let _g1 = pool.fetch(PageId(1)).unwrap();
+        match pool.fetch(PageId(2)) {
+            Err(StorageError::PoolExhausted) => {}
+            other => panic!("expected PoolExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn careful_writing_flushes_prerequisite_first() {
+        let (disk, pool) = pool(8, 8);
+        {
+            let dest = pool.fetch(PageId(3)).unwrap();
+            dest.write().set_low_mark(1);
+            let org = pool.fetch(PageId(5)).unwrap();
+            org.write().set_low_mark(2);
+        }
+        // org(5) may not reach disk before dest(3).
+        pool.add_write_dependency(PageId(5), PageId(3));
+        pool.flush_page(PageId(5)).unwrap();
+        // Both must now be durable, and writes ordered dest-then-org.
+        assert_eq!(disk.read_page(PageId(3)).unwrap().low_mark(), 1);
+        assert_eq!(disk.read_page(PageId(5)).unwrap().low_mark(), 2);
+        assert_eq!(pool.pending_dependencies(), 0);
+    }
+
+    #[test]
+    fn dependency_cycle_is_reported_as_swap_hazard() {
+        let (_disk, pool) = pool(8, 8);
+        {
+            let a = pool.fetch(PageId(1)).unwrap();
+            a.write().set_low_mark(1);
+            let b = pool.fetch(PageId(2)).unwrap();
+            b.write().set_low_mark(2);
+        }
+        pool.add_write_dependency(PageId(1), PageId(2));
+        pool.add_write_dependency(PageId(2), PageId(1));
+        let err = pool.flush_page(PageId(1)).unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn crash_keeps_disk_but_drops_volatile_state() {
+        let (disk, pool) = pool(8, 8);
+        {
+            let g = pool.fetch(PageId(0)).unwrap();
+            g.write().set_low_mark(42);
+        }
+        // Lose everything: nothing reaches disk.
+        let flushed = pool.simulate_crash(|_| false).unwrap();
+        assert!(flushed.is_empty());
+        assert_eq!(pool.resident(), 0);
+        assert_eq!(disk.read_page(PageId(0)).unwrap().low_mark(), 0);
+    }
+
+    #[test]
+    fn crash_closure_includes_prerequisites() {
+        let (disk, pool) = pool(8, 8);
+        {
+            let dest = pool.fetch(PageId(3)).unwrap();
+            dest.write().set_low_mark(7);
+            let org = pool.fetch(PageId(5)).unwrap();
+            org.write().set_low_mark(8);
+        }
+        pool.add_write_dependency(PageId(5), PageId(3));
+        // "OS flushed page 5" — careful writing implies 3 went first.
+        let flushed = pool.simulate_crash(|id| id == PageId(5)).unwrap();
+        assert_eq!(flushed, vec![PageId(3), PageId(5)]);
+        assert_eq!(disk.read_page(PageId(3)).unwrap().low_mark(), 7);
+        assert_eq!(disk.read_page(PageId(5)).unwrap().low_mark(), 8);
+    }
+
+    #[test]
+    fn wal_hook_called_before_page_write() {
+        use std::sync::atomic::AtomicU64;
+        struct Probe {
+            max_flushed: AtomicU64,
+        }
+        impl WalFlush for Probe {
+            fn flush_to(&self, lsn: Lsn) {
+                self.max_flushed.fetch_max(lsn.0, Ordering::SeqCst);
+            }
+        }
+        let (_disk, pool) = pool(4, 4);
+        let probe = Arc::new(Probe {
+            max_flushed: AtomicU64::new(0),
+        });
+        pool.set_wal(Arc::clone(&probe) as Arc<dyn WalFlush>);
+        {
+            let g = pool.fetch(PageId(0)).unwrap();
+            g.write().set_lsn(Lsn(31));
+        }
+        pool.flush_page(PageId(0)).unwrap();
+        assert_eq!(probe.max_flushed.load(Ordering::SeqCst), 31);
+    }
+
+    #[test]
+    fn discard_drops_dirty_page_silently() {
+        let (disk, pool) = pool(4, 4);
+        {
+            let g = pool.fetch(PageId(1)).unwrap();
+            g.write().set_low_mark(9);
+        }
+        pool.discard(PageId(1));
+        pool.flush_all().unwrap();
+        assert_eq!(disk.read_page(PageId(1)).unwrap().low_mark(), 0);
+    }
+
+    #[test]
+    fn concurrent_fetch_same_page_is_safe() {
+        let (_disk, pool) = pool(16, 16);
+        let pool = Arc::new(pool);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let g = pool.fetch(PageId((i % 16) as u32)).unwrap();
+                        if t % 2 == 0 {
+                            g.write().set_low_mark(i);
+                        } else {
+                            let _ = g.read().low_mark();
+                        }
+                    }
+                });
+            }
+        });
+        assert!(pool.resident() <= 16);
+    }
+}

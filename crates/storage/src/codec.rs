@@ -1,0 +1,229 @@
+//! Minimal hand-rolled binary codec used by page images and log records.
+//!
+//! The write-ahead log and the page formats are encoded with these helpers
+//! rather than a serialization framework: the encodings are stable, compact,
+//! little-endian, and every decode is bounds-checked so a torn or corrupt
+//! image surfaces as an error instead of a panic.
+
+use crate::error::{StorageError, StorageResult};
+
+/// An append-only byte writer with length-prefixed composite support.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a writer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Append a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append raw bytes with a `u32` length prefix.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append raw bytes with no length prefix.
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer and return the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the encoded bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// A bounds-checked reader over an encoded byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a byte slice for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> StorageResult<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(StorageError::Corrupt(format!(
+                "decode past end: need {n} bytes at offset {} of {}",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Decode a single byte.
+    pub fn get_u8(&mut self) -> StorageResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Decode a little-endian `u16`.
+    pub fn get_u16(&mut self) -> StorageResult<u16> {
+        let s = self.take(2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    /// Decode a little-endian `u32`.
+    pub fn get_u32(&mut self) -> StorageResult<u32> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Decode a little-endian `u64`.
+    pub fn get_u64(&mut self) -> StorageResult<u64> {
+        let s = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Decode a `u32`-length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> StorageResult<Vec<u8>> {
+        let len = self.get_u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Decode `n` raw bytes with no length prefix.
+    pub fn get_raw(&mut self, n: usize) -> StorageResult<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut w = Writer::new();
+        w.put_u8(0xAB);
+        w.put_u16(0xCDEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(0x0123_4567_89AB_CDEF);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert_eq!(r.get_u16().unwrap(), 0xCDEF);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn round_trip_bytes() {
+        let mut w = Writer::new();
+        w.put_bytes(b"hello");
+        w.put_bytes(b"");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_bytes().unwrap(), b"hello");
+        assert_eq!(r.get_bytes().unwrap(), b"");
+    }
+
+    #[test]
+    fn decode_past_end_is_error_not_panic() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(r.get_u32().is_err());
+    }
+
+    #[test]
+    fn truncated_length_prefix_is_error() {
+        let mut w = Writer::new();
+        w.put_u32(1000); // claims 1000 bytes follow
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.get_bytes().is_err());
+    }
+
+    #[test]
+    fn position_tracks_consumption() {
+        let mut w = Writer::new();
+        w.put_u64(7);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.position(), 0);
+        r.get_u64().unwrap();
+        assert_eq!(r.position(), 8);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_mixed(u8s in prop::collection::vec(any::<u8>(), 0..8),
+                                 u64s in prop::collection::vec(any::<u64>(), 0..8),
+                                 blobs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 0..4)) {
+            let mut w = Writer::new();
+            for &v in &u8s { w.put_u8(v); }
+            for &v in &u64s { w.put_u64(v); }
+            for b in &blobs { w.put_bytes(b); }
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            for &v in &u8s { prop_assert_eq!(r.get_u8().unwrap(), v); }
+            for &v in &u64s { prop_assert_eq!(r.get_u64().unwrap(), v); }
+            for b in &blobs { prop_assert_eq!(&r.get_bytes().unwrap(), b); }
+            prop_assert_eq!(r.remaining(), 0);
+        }
+    }
+}

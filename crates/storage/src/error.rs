@@ -1,0 +1,95 @@
+//! Error types shared across the storage layer.
+
+use std::fmt;
+
+use crate::page::PageId;
+
+/// Errors raised by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// A page id was outside the bounds of the disk.
+    PageOutOfBounds(PageId),
+    /// The buffer pool had no evictable frame for a new page.
+    PoolExhausted,
+    /// A page could not hold the requested record.
+    PageFull {
+        /// Page that rejected the insert.
+        page: PageId,
+        /// Bytes that were needed.
+        needed: usize,
+        /// Bytes that were free.
+        free: usize,
+    },
+    /// Decoding a page or record image failed.
+    Corrupt(String),
+    /// The free-space map had no free page satisfying the request.
+    NoFreePage,
+    /// An underlying I/O error (file-backed disk only).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::PageOutOfBounds(p) => write!(f, "page {p} out of bounds"),
+            StorageError::PoolExhausted => write!(f, "buffer pool exhausted: all frames pinned"),
+            StorageError::PageFull { page, needed, free } => {
+                write!(f, "page {page} full: needed {needed} bytes, {free} free")
+            }
+            StorageError::Corrupt(msg) => write!(f, "corrupt page image: {msg}"),
+            StorageError::NoFreePage => write!(f, "no free page available"),
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the storage layer.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = StorageError::PageFull {
+            page: PageId(7),
+            needed: 64,
+            free: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("page 7"));
+        assert!(s.contains("64"));
+        assert!(s.contains("10"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        let io = std::io::Error::other("boom");
+        let e = StorageError::from(io);
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn out_of_bounds_mentions_page() {
+        assert!(StorageError::PageOutOfBounds(PageId(42))
+            .to_string()
+            .contains("42"));
+    }
+}

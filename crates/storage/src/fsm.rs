@@ -1,0 +1,336 @@
+//! Free-space map: which pages are unallocated, and the placement query the
+//! reorganizer's heuristic needs.
+//!
+//! §6.1 of the paper chooses, for each leaf `C` being compacted new-place,
+//! "the first empty page which is in front of the leaf page that is going to
+//! be reorganized, C, and after the largest finished leaf page ID, L" — that
+//! is the [`FreeSpaceMap::first_free_in`] query over the open interval
+//! `(L, C)`. Baseline policies (first-free anywhere, random) are also served
+//! from here so experiment E3 can compare them.
+
+use parking_lot::Mutex;
+
+use crate::page::PageId;
+
+/// Thread-safe bitmap of free pages.
+///
+/// Optionally split into two regions, per §6 of the paper ("we assume that
+/// the leaf pages and internal pages are in a different part of the disk"):
+/// pages below the *leaf boundary* are the internal region (meta + index
+/// pages), pages at or above it are the leaf region. With the default
+/// boundary of 0 everything is one region.
+///
+/// ```
+/// use obr_storage::{FreeSpaceMap, PageId};
+///
+/// let fsm = FreeSpaceMap::new_all_allocated(16);
+/// fsm.free(PageId(5));
+/// fsm.free(PageId(9));
+/// // §6.1 placement query: first free page strictly inside (L, C).
+/// assert_eq!(fsm.first_free_in(PageId(5), PageId(12)), Some(PageId(9)));
+/// assert_eq!(fsm.first_free_in(PageId(9), PageId(12)), None);
+/// ```
+#[derive(Debug)]
+pub struct FreeSpaceMap {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    free: Vec<bool>,
+    free_count: usize,
+    /// First page id of the leaf region (0 = no split).
+    leaf_boundary: u32,
+}
+
+impl FreeSpaceMap {
+    /// Create a map over `pages` pages, all initially allocated.
+    pub fn new_all_allocated(pages: u32) -> FreeSpaceMap {
+        FreeSpaceMap {
+            inner: Mutex::new(Inner {
+                free: vec![false; pages as usize],
+                free_count: 0,
+                leaf_boundary: 0,
+            }),
+        }
+    }
+
+    /// Create a map over `pages` pages, all initially free.
+    pub fn new_all_free(pages: u32) -> FreeSpaceMap {
+        FreeSpaceMap {
+            inner: Mutex::new(Inner {
+                free: vec![true; pages as usize],
+                free_count: pages as usize,
+                leaf_boundary: 0,
+            }),
+        }
+    }
+
+    /// Number of pages tracked.
+    pub fn num_pages(&self) -> u32 {
+        self.inner.lock().free.len() as u32
+    }
+
+    /// Number of free pages.
+    pub fn free_count(&self) -> usize {
+        self.inner.lock().free_count
+    }
+
+    /// Number of allocated pages.
+    pub fn allocated_count(&self) -> usize {
+        let g = self.inner.lock();
+        g.free.len() - g.free_count
+    }
+
+    /// Grow the map; new pages are free.
+    pub fn grow(&self, pages: u32) {
+        let mut g = self.inner.lock();
+        while (g.free.len() as u32) < pages {
+            g.free.push(true);
+            g.free_count += 1;
+        }
+    }
+
+    /// True when `id` is free.
+    pub fn is_free(&self, id: PageId) -> bool {
+        let g = self.inner.lock();
+        g.free.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Allocate the lowest-id free page.
+    pub fn allocate(&self) -> Option<PageId> {
+        let mut g = self.inner.lock();
+        let idx = g.free.iter().position(|&f| f)?;
+        g.free[idx] = false;
+        g.free_count -= 1;
+        Some(PageId(idx as u32))
+    }
+
+    /// Set the first page of the leaf region (§6 two-region layout).
+    pub fn set_leaf_boundary(&self, boundary: PageId) {
+        self.inner.lock().leaf_boundary = boundary.0;
+    }
+
+    /// First page of the leaf region (0 when the disk is one region).
+    pub fn leaf_boundary(&self) -> PageId {
+        PageId(self.inner.lock().leaf_boundary)
+    }
+
+    /// Allocate the lowest free page in the leaf region, falling back to
+    /// anywhere when the region is exhausted.
+    pub fn allocate_leaf(&self) -> Option<PageId> {
+        let mut g = self.inner.lock();
+        let b = g.leaf_boundary as usize;
+        let idx = match g.free[b.min(g.free.len())..]
+            .iter()
+            .position(|&f| f)
+        {
+            Some(i) => b + i,
+            None => g.free.iter().position(|&f| f)?,
+        };
+        g.free[idx] = false;
+        g.free_count -= 1;
+        Some(PageId(idx as u32))
+    }
+
+    /// Allocate the lowest free page in the internal region, falling back to
+    /// anywhere when the region is exhausted.
+    pub fn allocate_internal(&self) -> Option<PageId> {
+        let mut g = self.inner.lock();
+        let b = (g.leaf_boundary as usize).min(g.free.len());
+        let idx = match g.free[..b].iter().position(|&f| f) {
+            Some(i) => i,
+            None => g.free.iter().position(|&f| f)?,
+        };
+        g.free[idx] = false;
+        g.free_count -= 1;
+        Some(PageId(idx as u32))
+    }
+
+    /// Allocate a specific page; returns `false` when it was not free.
+    pub fn allocate_specific(&self, id: PageId) -> bool {
+        let mut g = self.inner.lock();
+        match g.free.get_mut(id.index()) {
+            Some(slot) if *slot => {
+                *slot = false;
+                g.free_count -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The paper's placement query: first free page id strictly inside
+    /// `(after, before)`. Returns `None` when the interval holds no free page.
+    pub fn first_free_in(&self, after: PageId, before: PageId) -> Option<PageId> {
+        let g = self.inner.lock();
+        let lo = (after.0 as usize).saturating_add(1);
+        let hi = (before.0 as usize).min(g.free.len());
+        (lo..hi).find(|&i| g.free[i]).map(|i| PageId(i as u32))
+    }
+
+    /// Allocate via [`Self::first_free_in`] atomically.
+    pub fn allocate_in(&self, after: PageId, before: PageId) -> Option<PageId> {
+        let mut g = self.inner.lock();
+        let lo = (after.0 as usize).saturating_add(1);
+        let hi = (before.0 as usize).min(g.free.len());
+        let idx = (lo..hi).find(|&i| g.free[i])?;
+        g.free[idx] = false;
+        g.free_count -= 1;
+        Some(PageId(idx as u32))
+    }
+
+    /// Return a page to the free pool. Idempotent.
+    pub fn free(&self, id: PageId) {
+        let mut g = self.inner.lock();
+        if let Some(slot) = g.free.get_mut(id.index()) {
+            if !*slot {
+                *slot = true;
+                g.free_count += 1;
+            }
+        }
+    }
+
+    /// Snapshot of all free page ids (ascending).
+    pub fn free_pages(&self) -> Vec<PageId> {
+        let g = self.inner.lock();
+        g.free
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| PageId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn allocate_returns_lowest_free() {
+        let fsm = FreeSpaceMap::new_all_free(4);
+        assert_eq!(fsm.allocate(), Some(PageId(0)));
+        assert_eq!(fsm.allocate(), Some(PageId(1)));
+        fsm.free(PageId(0));
+        assert_eq!(fsm.allocate(), Some(PageId(0)));
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let fsm = FreeSpaceMap::new_all_free(2);
+        fsm.allocate().unwrap();
+        fsm.allocate().unwrap();
+        assert_eq!(fsm.allocate(), None);
+        assert_eq!(fsm.free_count(), 0);
+    }
+
+    #[test]
+    fn allocate_specific_respects_state() {
+        let fsm = FreeSpaceMap::new_all_free(4);
+        assert!(fsm.allocate_specific(PageId(2)));
+        assert!(!fsm.allocate_specific(PageId(2)));
+        assert!(!fsm.allocate_specific(PageId(99)));
+        assert!(!fsm.is_free(PageId(2)));
+    }
+
+    #[test]
+    fn first_free_in_is_exclusive_open_interval() {
+        let fsm = FreeSpaceMap::new_all_allocated(10);
+        fsm.free(PageId(3));
+        fsm.free(PageId(7));
+        // (3, 7) excludes both endpoints: no free page inside.
+        assert_eq!(fsm.first_free_in(PageId(3), PageId(7)), None);
+        // (2, 8) contains 3 and 7; lowest wins.
+        assert_eq!(fsm.first_free_in(PageId(2), PageId(8)), Some(PageId(3)));
+        // (3, 8) contains only 7.
+        assert_eq!(fsm.first_free_in(PageId(3), PageId(8)), Some(PageId(7)));
+    }
+
+    #[test]
+    fn allocate_in_consumes_the_page() {
+        let fsm = FreeSpaceMap::new_all_allocated(10);
+        fsm.free(PageId(5));
+        assert_eq!(fsm.allocate_in(PageId(0), PageId(9)), Some(PageId(5)));
+        assert_eq!(fsm.allocate_in(PageId(0), PageId(9)), None);
+    }
+
+    #[test]
+    fn free_is_idempotent() {
+        let fsm = FreeSpaceMap::new_all_allocated(4);
+        fsm.free(PageId(1));
+        fsm.free(PageId(1));
+        assert_eq!(fsm.free_count(), 1);
+    }
+
+    #[test]
+    fn grow_adds_free_pages() {
+        let fsm = FreeSpaceMap::new_all_allocated(2);
+        fsm.grow(5);
+        assert_eq!(fsm.num_pages(), 5);
+        assert_eq!(fsm.free_count(), 3);
+        assert_eq!(fsm.free_pages(), vec![PageId(2), PageId(3), PageId(4)]);
+    }
+
+    #[test]
+    fn regions_steer_allocation() {
+        let fsm = FreeSpaceMap::new_all_free(16);
+        fsm.set_leaf_boundary(PageId(8));
+        assert_eq!(fsm.leaf_boundary(), PageId(8));
+        assert_eq!(fsm.allocate_internal(), Some(PageId(0)));
+        assert_eq!(fsm.allocate_leaf(), Some(PageId(8)));
+        assert_eq!(fsm.allocate_leaf(), Some(PageId(9)));
+        assert_eq!(fsm.allocate_internal(), Some(PageId(1)));
+    }
+
+    #[test]
+    fn regions_fall_back_when_exhausted() {
+        let fsm = FreeSpaceMap::new_all_free(6);
+        fsm.set_leaf_boundary(PageId(4));
+        // Drain the internal region.
+        for _ in 0..4 {
+            fsm.allocate_internal().unwrap();
+        }
+        // Internal allocations spill into the leaf region.
+        assert_eq!(fsm.allocate_internal(), Some(PageId(4)));
+        // And leaf allocations spill backwards once their region drains.
+        assert_eq!(fsm.allocate_leaf(), Some(PageId(5)));
+        fsm.free(PageId(2));
+        assert_eq!(fsm.allocate_leaf(), Some(PageId(2)));
+        assert_eq!(fsm.allocate_leaf(), None);
+    }
+
+    #[test]
+    fn default_boundary_keeps_single_region_behaviour() {
+        let fsm = FreeSpaceMap::new_all_free(4);
+        assert_eq!(fsm.allocate_leaf(), Some(PageId(0)));
+        assert_eq!(fsm.allocate_internal(), Some(PageId(1)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_counts_stay_consistent(ops in prop::collection::vec((any::<bool>(), 0u32..32), 1..100)) {
+            let fsm = FreeSpaceMap::new_all_free(32);
+            for (alloc, id) in ops {
+                if alloc {
+                    fsm.allocate_specific(PageId(id));
+                } else {
+                    fsm.free(PageId(id));
+                }
+                let listed = fsm.free_pages().len();
+                prop_assert_eq!(listed, fsm.free_count());
+                prop_assert_eq!(fsm.allocated_count() + fsm.free_count(), 32);
+            }
+        }
+
+        #[test]
+        fn prop_first_free_in_matches_linear_scan(free_ids in prop::collection::btree_set(0u32..64, 0..20),
+                                                  after in 0u32..64, before in 0u32..64) {
+            let fsm = FreeSpaceMap::new_all_allocated(64);
+            for &i in &free_ids { fsm.free(PageId(i)); }
+            let expected = (after + 1..before.min(64)).find(|i| free_ids.contains(i)).map(PageId);
+            prop_assert_eq!(fsm.first_free_in(PageId(after), PageId(before)), expected);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! User transactions and workloads: the reader and updater protocols of
+//! §4.1.2–§4.1.3, and the workload generators the experiments drive.
+//!
+//! The key protocol behaviour under reorganization: a reader (or updater)
+//! whose leaf-page lock request conflicts with a held RX lock *forgoes* the
+//! request, releases its base-page S lock, and issues an unconditional
+//! instant-duration RS request on the base page — which blocks exactly until
+//! the reorganizer finishes the unit and releases its base-page locks — then
+//! re-descends and retries. That is what keeps readers flowing against every
+//! part of the tree except the handful of leaves inside the active unit,
+//! the paper's headline concurrency win over whole-file locking \[Smi90\].
+
+pub mod session;
+pub mod workload;
+
+pub use session::{Session, Txn, TxnError, TxnResult};
+pub use workload::{
+    degrade, run_workload, KeyDist, LatencyHistogram, WorkloadConfig, WorkloadReport,
+};

@@ -1,0 +1,71 @@
+//! The deployment shape: a background daemon watches the tree and
+//! reorganizes only when the trigger thresholds are crossed, while the
+//! application keeps reading and writing.
+//!
+//! ```text
+//! cargo run --example background_daemon
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use obr::btree::SidePointerMode;
+use obr::core::{Database, ReorgConfig, ReorgDaemon, ReorgTrigger};
+use obr::storage::InMemoryDisk;
+use obr::txn::Session;
+
+fn main() {
+    let disk = Arc::new(InMemoryDisk::new(32_768));
+    let db = Database::create_with_regions(disk, 32_768, SidePointerMode::TwoWay, 1024)
+        .expect("create");
+    let session = Session::new(Arc::clone(&db));
+
+    println!("loading 12,000 records...");
+    for k in 0..12_000u64 {
+        session.insert(k, &k.to_le_bytes()).expect("insert");
+    }
+    let daemon = ReorgDaemon::spawn(
+        Arc::clone(&db),
+        ReorgConfig::default(),
+        ReorgTrigger {
+            min_fill: 0.55,
+            max_disorder: 0.2,
+            ..ReorgTrigger::default()
+        },
+        Duration::from_millis(100),
+    );
+
+    // The application churns; the daemon heals behind it.
+    for round in 1..=3u32 {
+        println!("\n-- churn round {round}: delete 60% at random --");
+        let keys: Vec<u64> = session
+            .scan(0, u64::MAX)
+            .expect("scan")
+            .iter()
+            .map(|(k, _)| *k)
+            .collect();
+        let mut rng = 0x1357u64 ^ round as u64;
+        for k in keys {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            if rng % 10 < 6 {
+                let _ = session.delete(k);
+            }
+        }
+        // Refill a little so the tree stays interesting.
+        for i in 0..1500u64 {
+            let k = 100_000 * round as u64 + i;
+            session.insert(k, &k.to_le_bytes()).expect("insert");
+        }
+        std::thread::sleep(Duration::from_millis(400));
+        let stats = db.stats().expect("stats");
+        println!("{stats}");
+        println!("daemon decisions so far: {:?}", daemon.decisions());
+    }
+
+    let decisions = daemon.stop().expect("daemon");
+    println!("\ndaemon made {} reorganization run(s)", decisions.len());
+    db.tree().validate().expect("validate");
+    println!("tree valid; final fill {:.2}", db.tree().stats().unwrap().avg_leaf_fill);
+}

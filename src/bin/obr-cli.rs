@@ -1,0 +1,153 @@
+//! Interactive shell over a durable obr database.
+//!
+//! ```text
+//! obr-cli <dir> [--pages N]
+//! ```
+//!
+//! Commands: `put K V`, `get K`, `del K`, `scan LO HI`, `stats`, `reorg`,
+//! `reorg auto`, `checkpoint`, `truncate-log`, `help`, `quit`. Data is
+//! durable across runs (pages + WAL live under `<dir>`; recovery runs on
+//! startup).
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use obr::btree::SidePointerMode;
+use obr::core::{recover, Database, ReorgConfig, ReorgTrigger, Reorganizer};
+use obr::txn::{Session, TxnError};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(dir) = args.next() else {
+        eprintln!("usage: obr-cli <dir> [--pages N]");
+        std::process::exit(2);
+    };
+    let mut pages = 16_384u32;
+    while let Some(a) = args.next() {
+        if a == "--pages" {
+            pages = args
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(16_384);
+        }
+    }
+    let dir = std::path::PathBuf::from(dir);
+    let db = if dir.join("pages.db").exists() {
+        let db = Database::open_durable(&dir, 1024, SidePointerMode::TwoWay)
+            .expect("open database");
+        let report = recover(&db).expect("recovery");
+        println!(
+            "recovered: {} records redone, {} units forward-completed",
+            report.redo_applied, report.forward_units_completed
+        );
+        db
+    } else {
+        println!("creating new database in {} ({pages} pages)", dir.display());
+        Database::create_durable(&dir, pages, 1024, SidePointerMode::TwoWay)
+            .expect("create database")
+    };
+    let session = Session::new(Arc::clone(&db));
+    let stdin = std::io::stdin();
+    print!("obr> ");
+    std::io::stdout().flush().ok();
+    for line in stdin.lock().lines() {
+        let line = line.unwrap_or_default();
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            [] => {}
+            ["quit"] | ["exit"] => break,
+            ["help"] => {
+                println!(
+                    "put K V | get K | del K | scan LO HI | stats | reorg | \
+                     reorg auto | checkpoint | truncate-log | quit"
+                );
+            }
+            ["put", k, v] => match k.parse::<u64>() {
+                Ok(key) => match session.insert(key, v.as_bytes()) {
+                    Ok(()) => println!("ok"),
+                    Err(TxnError::KeyExists(_)) => {
+                        let mut t = session.begin();
+                        match t.update(key, v.as_bytes()) {
+                            Ok(_) => {
+                                t.commit().ok();
+                                println!("updated");
+                            }
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                },
+                Err(_) => println!("bad key"),
+            },
+            ["get", k] => match k.parse::<u64>() {
+                Ok(key) => match session.read(key) {
+                    Ok(Some(v)) => println!("{}", String::from_utf8_lossy(&v)),
+                    Ok(None) => println!("(nil)"),
+                    Err(e) => println!("error: {e}"),
+                },
+                Err(_) => println!("bad key"),
+            },
+            ["del", k] => match k.parse::<u64>() {
+                Ok(key) => match session.delete(key) {
+                    Ok(_) => println!("ok"),
+                    Err(TxnError::KeyNotFound(_)) => println!("(nil)"),
+                    Err(e) => println!("error: {e}"),
+                },
+                Err(_) => println!("bad key"),
+            },
+            ["scan", lo, hi] => match (lo.parse::<u64>(), hi.parse::<u64>()) {
+                (Ok(lo), Ok(hi)) => match session.scan(lo, hi) {
+                    Ok(rows) => {
+                        for (k, v) in rows.iter().take(50) {
+                            println!("{k} = {}", String::from_utf8_lossy(v));
+                        }
+                        if rows.len() > 50 {
+                            println!("... {} more rows", rows.len() - 50);
+                        }
+                        println!("({} rows)", rows.len());
+                    }
+                    Err(e) => println!("error: {e}"),
+                },
+                _ => println!("bad range"),
+            },
+            ["stats"] => match db.stats() {
+                Ok(s) => println!("{s}"),
+                Err(e) => println!("error: {e}"),
+            },
+            ["reorg"] => {
+                let r = Reorganizer::new(Arc::clone(&db), ReorgConfig::default());
+                match r.run() {
+                    Ok(st) => println!(
+                        "reorganized: {} units, {} swaps, {} moves, {} pages freed",
+                        st.units, st.swaps, st.moves, st.pages_freed
+                    ),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            ["reorg", "auto"] => {
+                let r = Reorganizer::new(Arc::clone(&db), ReorgConfig::default());
+                match r.run_if_needed(ReorgTrigger::default()) {
+                    Ok(d) => println!(
+                        "compacted={} swapped={} shrunk={}",
+                        d.compacted, d.swapped, d.shrunk
+                    ),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            ["checkpoint"] => {
+                let lsn = db.checkpoint();
+                println!("checkpoint at LSN {lsn}");
+            }
+            ["truncate-log"] => match db.truncate_log() {
+                Ok(n) => println!("dropped {n} log records"),
+                Err(e) => println!("error: {e}"),
+            },
+            other => println!("unknown command {other:?}; try help"),
+        }
+        print!("obr> ");
+        std::io::stdout().flush().ok();
+    }
+    // Leave the files consistent for the next run.
+    db.checkpoint();
+    println!("bye");
+}

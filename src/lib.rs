@@ -1,0 +1,39 @@
+//! **obr** — On-line reorganization of sparsely-populated B+-trees.
+//!
+//! A full reproduction of Salzberg & Zou, SIGMOD 1996, as a Rust workspace:
+//!
+//! * [`storage`] — pages, disk managers, buffer pool with careful writing,
+//!   free-space map.
+//! * [`wal`] — write-ahead log, the reorganization log-record vocabulary,
+//!   the reorganization state table.
+//! * [`lock`] — the lock manager with the paper's R/RX/RS modes.
+//! * [`btree`] — the primary B+-tree (free-at-empty deletes, side pointers,
+//!   bottom-up bulk loading).
+//! * [`core`] — the reorganizer (three passes, side file, forward
+//!   recovery) and the assembled [`core::Database`].
+//! * [`txn`] — transactional sessions (the §4.1.2/§4.1.3 protocols) and
+//!   workload generators.
+//! * [`baseline`] — the Tandem-style comparator of §8.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use obr::core::{Database, ReorgConfig, Reorganizer};
+//! use obr::btree::SidePointerMode;
+//! use obr::storage::InMemoryDisk;
+//! use obr::txn::Session;
+//!
+//! let disk = Arc::new(InMemoryDisk::new(4096));
+//! let db = Database::create(disk, 4096, SidePointerMode::TwoWay).unwrap();
+//! let session = Session::new(Arc::clone(&db));
+//! session.insert(1, b"hello").unwrap();
+//! Reorganizer::new(Arc::clone(&db), ReorgConfig::default()).run().unwrap();
+//! assert_eq!(session.read(1).unwrap().unwrap(), b"hello");
+//! ```
+
+pub use obr_baseline as baseline;
+pub use obr_btree as btree;
+pub use obr_core as core;
+pub use obr_lock as lock;
+pub use obr_storage as storage;
+pub use obr_txn as txn;
+pub use obr_wal as wal;

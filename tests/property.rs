@@ -1,0 +1,150 @@
+//! Property-based whole-system tests: random operation sequences,
+//! interleaved with reorganization passes and crash/recovery cycles, checked
+//! against a `BTreeMap` model.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use obr::btree::SidePointerMode;
+use obr::core::{recover, Database, ReorgConfig, Reorganizer};
+use obr::storage::{DiskManager, InMemoryDisk};
+use obr::txn::Session;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, Vec<u8>),
+    Delete(u64),
+    Read(u64),
+    Scan(u64, u64),
+    Pass1,
+    Pass2,
+    Pass3,
+    CrashRecover(bool),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (0u64..500, prop::collection::vec(any::<u8>(), 0..48))
+            .prop_map(|(k, v)| Op::Insert(k, v)),
+        6 => (0u64..500).prop_map(Op::Delete),
+        4 => (0u64..500).prop_map(Op::Read),
+        2 => (0u64..500, 0u64..200).prop_map(|(lo, d)| Op::Scan(lo, lo + d)),
+        1 => Just(Op::Pass1),
+        1 => Just(Op::Pass2),
+        1 => Just(Op::Pass3),
+        1 => any::<bool>().prop_map(Op::CrashRecover),
+    ]
+}
+
+fn check_against_model(db: &Arc<Database>, model: &BTreeMap<u64, Vec<u8>>) {
+    let got = db.tree().collect_all().unwrap();
+    let want: Vec<(u64, Vec<u8>)> = model.iter().map(|(k, v)| (*k, v.clone())).collect();
+    assert_eq!(got, want, "tree contents diverged from model");
+    db.tree().validate().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case is a whole database lifetime
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn prop_system_matches_model(ops in prop::collection::vec(op_strategy(), 1..120),
+                                 seed in any::<u64>()) {
+        let disk = Arc::new(InMemoryDisk::new(8192));
+        let mut db = Database::create(
+            Arc::clone(&disk) as Arc<dyn DiskManager>,
+            8192,
+            SidePointerMode::TwoWay,
+        )
+        .unwrap();
+        let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        let mut rng = seed | 1;
+        let cfg = ReorgConfig { swap_pass: false, shrink_pass: false, ..ReorgConfig::default() };
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let s = Session::new(Arc::clone(&db));
+                    match s.insert(k, &v) {
+                        Ok(()) => { prop_assert!(model.insert(k, v).is_none()); }
+                        Err(obr::txn::TxnError::KeyExists(_)) => {
+                            prop_assert!(model.contains_key(&k));
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("insert: {e}"))),
+                    }
+                }
+                Op::Delete(k) => {
+                    let s = Session::new(Arc::clone(&db));
+                    match s.delete(k) {
+                        Ok(old) => { prop_assert_eq!(model.remove(&k), Some(old)); }
+                        Err(obr::txn::TxnError::KeyNotFound(_)) => {
+                            prop_assert!(!model.contains_key(&k));
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("delete: {e}"))),
+                    }
+                }
+                Op::Read(k) => {
+                    let s = Session::new(Arc::clone(&db));
+                    prop_assert_eq!(s.read(k).unwrap(), model.get(&k).cloned());
+                }
+                Op::Scan(lo, hi) => {
+                    let s = Session::new(Arc::clone(&db));
+                    let got = s.scan(lo, hi).unwrap();
+                    let want: Vec<(u64, Vec<u8>)> = model
+                        .range(lo..=hi)
+                        .map(|(k, v)| (*k, v.clone()))
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Pass1 => {
+                    Reorganizer::new(Arc::clone(&db), cfg.clone())
+                        .pass1_compact()
+                        .unwrap();
+                    check_against_model(&db, &model);
+                }
+                Op::Pass2 => {
+                    let r = Reorganizer::new(Arc::clone(&db), cfg.clone());
+                    r.pass1_compact().unwrap();
+                    r.pass2_swap_move().unwrap();
+                    check_against_model(&db, &model);
+                }
+                Op::Pass3 => {
+                    Reorganizer::new(Arc::clone(&db), ReorgConfig::default())
+                        .pass3_shrink()
+                        .unwrap();
+                    check_against_model(&db, &model);
+                }
+                Op::CrashRecover(flush_first) => {
+                    if flush_first {
+                        db.pool().flush_all().unwrap();
+                    }
+                    db.log().flush_all();
+                    // A committed-state crash: every session op committed
+                    // (and forced the log), so the model must survive.
+                    db.crash(|_| {
+                        rng ^= rng << 13;
+                        rng ^= rng >> 7;
+                        rng ^= rng << 17;
+                        rng % 3 == 0
+                    })
+                    .unwrap();
+                    let db2 = Database::reopen(
+                        Arc::clone(&disk) as Arc<dyn DiskManager>,
+                        Arc::clone(db.log()),
+                        8192,
+                        SidePointerMode::TwoWay,
+                    )
+                    .unwrap();
+                    recover(&db2).unwrap();
+                    db = db2;
+                    check_against_model(&db, &model);
+                }
+            }
+        }
+        check_against_model(&db, &model);
+    }
+}
