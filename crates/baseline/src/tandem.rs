@@ -92,10 +92,7 @@ impl TandemReorganizer {
     }
 
     /// X-lock the whole file for one block operation, run it, release.
-    fn file_transaction<T>(
-        &self,
-        op: impl FnOnce() -> CoreResult<T>,
-    ) -> CoreResult<T> {
+    fn file_transaction<T>(&self, op: impl FnOnce() -> CoreResult<T>) -> CoreResult<T> {
         let gen = self.db.tree().generation()?;
         let locks = self.db.locks();
         loop {
@@ -170,14 +167,7 @@ impl TandemReorganizer {
         Ok(false)
     }
 
-    fn do_merge(
-        &self,
-        base: PageId,
-        _ka: u64,
-        a: PageId,
-        kb: u64,
-        b: PageId,
-    ) -> CoreResult<u64> {
+    fn do_merge(&self, base: PageId, _ka: u64, a: PageId, kb: u64, b: PageId) -> CoreResult<u64> {
         let pool = self.db.pool();
         let moved;
         let b_right;
@@ -489,10 +479,13 @@ mod tests {
         let db = sparse_db(4096, 2000, 0.25);
         let before = db.tree().stats().unwrap();
         let expected = db.tree().collect_all().unwrap();
-        let t = TandemReorganizer::new(Arc::clone(&db), TandemConfig {
-            ordering_phase: false,
-            ..TandemConfig::default()
-        });
+        let t = TandemReorganizer::new(
+            Arc::clone(&db),
+            TandemConfig {
+                ordering_phase: false,
+                ..TandemConfig::default()
+            },
+        );
         t.run().unwrap();
         let after = db.tree().stats().unwrap();
         db.tree().validate().unwrap();
@@ -510,10 +503,13 @@ mod tests {
         // roughly one transaction per page merged, far more transactions
         // than our reorganizer needs units.
         let db = sparse_db(4096, 2000, 0.25);
-        let t = TandemReorganizer::new(Arc::clone(&db), TandemConfig {
-            ordering_phase: false,
-            ..TandemConfig::default()
-        });
+        let t = TandemReorganizer::new(
+            Arc::clone(&db),
+            TandemConfig {
+                ordering_phase: false,
+                ..TandemConfig::default()
+            },
+        );
         t.run().unwrap();
         let st = t.stats();
         let after = db.tree().stats().unwrap();

@@ -58,5 +58,11 @@ fn bench_bulk_load(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_search, bench_insert, bench_scan, bench_bulk_load);
+criterion_group!(
+    benches,
+    bench_search,
+    bench_insert,
+    bench_scan,
+    bench_bulk_load
+);
 criterion_main!(benches);

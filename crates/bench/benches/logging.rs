@@ -70,7 +70,9 @@ fn bench_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("wal/codec");
     let keys = move_keys(50);
     let encoded = keys.encode();
-    group.bench_function("encode-move-keys-50", |b| b.iter(|| black_box(keys.encode())));
+    group.bench_function("encode-move-keys-50", |b| {
+        b.iter(|| black_box(keys.encode()))
+    });
     group.bench_function("decode-move-keys-50", |b| {
         b.iter(|| black_box(LogRecord::decode(&encoded).unwrap()))
     });

@@ -86,7 +86,13 @@ fn bench_placement_policies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pass1, bench_pass2, bench_pass3, bench_placement_policies);
+criterion_group!(
+    benches,
+    bench_pass1,
+    bench_pass2,
+    bench_pass3,
+    bench_placement_policies
+);
 
 // Appended ablations (DESIGN.md "design choices called out for ablation").
 
@@ -109,7 +115,9 @@ fn bench_stable_interval_ablation(c: &mut criterion::Criterion) {
                         stable_interval: interval,
                         ..ReorgConfig::default()
                     };
-                    Reorganizer::new(Arc::clone(&db), cfg).pass3_shrink().unwrap();
+                    Reorganizer::new(Arc::clone(&db), cfg)
+                        .pass3_shrink()
+                        .unwrap();
                 },
                 BatchSize::SmallInput,
             )
@@ -133,7 +141,9 @@ fn bench_target_fill_ablation(c: &mut criterion::Criterion) {
                         shrink_pass: false,
                         ..ReorgConfig::default()
                     };
-                    Reorganizer::new(Arc::clone(&db), cfg).pass1_compact().unwrap();
+                    Reorganizer::new(Arc::clone(&db), cfg)
+                        .pass1_compact()
+                        .unwrap();
                 },
                 BatchSize::SmallInput,
             )

@@ -14,12 +14,7 @@ fn main() {
         match a.as_str() {
             "--exp" => exp = args.next().unwrap_or_else(|| "all".into()),
             "--scale" => {
-                scale = Scale(
-                    args.next()
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or(1)
-                        .max(1),
-                )
+                scale = Scale(args.next().and_then(|s| s.parse().ok()).unwrap_or(1).max(1))
             }
             "--help" | "-h" => {
                 eprintln!("usage: experiments [--exp e1..e8|all] [--scale N]");

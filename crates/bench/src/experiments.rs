@@ -8,14 +8,16 @@ use std::time::{Duration, Instant};
 use obr_baseline::{TandemConfig, TandemReorganizer};
 use obr_btree::SidePointerMode;
 use obr_core::{
-    recover, Database, FailPoint, FailSite, LogStrategy, PlacementPolicy, ReorgConfig,
-    Reorganizer,
+    recover, Database, FailPoint, FailSite, LogStrategy, PlacementPolicy, ReorgConfig, Reorganizer,
 };
 use obr_lock::LockManager;
 use obr_storage::{DiskManager, InMemoryDisk};
 use obr_txn::{degrade, run_workload, KeyDist, Session, WorkloadConfig};
 
-use crate::harness::{churned_database, churned_database_with_latency, cold_scan_cost, f, sparse_database, table, value_for, Row};
+use crate::harness::{
+    churned_database, churned_database_with_latency, cold_scan_cost, f, sparse_database, table,
+    value_for, Row,
+};
 
 /// Scale knob: 1 = quick (seconds); larger values grow data sizes.
 #[derive(Clone, Copy, Debug)]
@@ -160,7 +162,15 @@ pub fn e3_placement(scale: Scale) -> String {
     }
     table(
         "E3: Find-Free-Space policy vs pass-2 swaps (§6.1)",
-        &["f1", "policy", "copy-switch", "in-place", "swaps", "moves", "disorder"],
+        &[
+            "f1",
+            "policy",
+            "copy-switch",
+            "in-place",
+            "swaps",
+            "moves",
+            "disorder",
+        ],
         &rows,
     )
 }
@@ -179,14 +189,8 @@ pub fn e4_concurrency(scale: Scale) -> String {
             // Per-I/O latency gives lock hold times their realistic I/O
             // component; without it, in-memory speed hides the cost of the
             // baseline's whole-file lock.
-            let (_disk, db) = churned_database_with_latency(
-                65_536,
-                n,
-                0.25,
-                64,
-                0xE4,
-                Duration::from_micros(50),
-            );
+            let (_disk, db) =
+                churned_database_with_latency(65_536, n, 0.25, 64, 0xE4, Duration::from_micros(50));
             let wl = WorkloadConfig {
                 readers: threads / 2,
                 updaters: threads - threads / 2,
@@ -250,8 +254,15 @@ pub fn e4_concurrency(scale: Scale) -> String {
     table(
         "E4: throughput under concurrent reorganization (§8 vs [Smi90])",
         &[
-            "threads", "system", "ops/s", "p99_read", "max_upd", "rs_fallbacks", "lock_waits",
-            "blocked", "reorg_time",
+            "threads",
+            "system",
+            "ops/s",
+            "p99_read",
+            "max_upd",
+            "rs_fallbacks",
+            "lock_waits",
+            "blocked",
+            "reorg_time",
         ],
         &rows,
     )
@@ -320,7 +331,9 @@ pub fn e5_forward_recovery(scale: Scale) -> String {
             shrink_pass: false,
             ..default_cfg()
         };
-        Reorganizer::new(Arc::clone(&db), cfg).pass1_compact().unwrap();
+        Reorganizer::new(Arc::clone(&db), cfg)
+            .pass1_compact()
+            .unwrap();
         assert_eq!(db.tree().collect_all().unwrap(), expected);
         db.tree().validate().unwrap();
         let ours = t0.elapsed();
@@ -380,7 +393,14 @@ pub fn e5_forward_recovery(scale: Scale) -> String {
     }
     table(
         "E5: crashes during reorganization (§5.1 Forward Recovery)",
-        &["crashes", "recovery", "total_time", "fwd_units", "records_kept", "final_fill"],
+        &[
+            "crashes",
+            "recovery",
+            "total_time",
+            "fwd_units",
+            "records_kept",
+            "final_fill",
+        ],
         &rows,
     )
 }
@@ -436,7 +456,13 @@ pub fn e6_log_volume(scale: Scale) -> String {
     }
     table(
         "E6: reorganization log volume (§5 careful writing)",
-        &["strategy", "records_moved", "swaps", "log_bytes", "bytes/record"],
+        &[
+            "strategy",
+            "records_moved",
+            "swaps",
+            "log_bytes",
+            "bytes/record",
+        ],
         &rows,
     )
 }
@@ -500,7 +526,12 @@ pub fn e7_pass3_availability(scale: Scale) -> String {
             None => (None, None),
         };
         rows.push(vec![
-            if with_reorg { "pass3 running" } else { "control" }.into(),
+            if with_reorg {
+                "pass3 running"
+            } else {
+                "control"
+            }
+            .into(),
             format!("{:.0}", report.throughput()),
             format!("{:?}", report.update_latency.percentile(0.99)),
             stats
@@ -515,14 +546,22 @@ pub fn e7_pass3_availability(scale: Scale) -> String {
             stats
                 .map(|s| s.side_entries_applied.to_string())
                 .unwrap_or_else(|| "-".into()),
-            elapsed.map(|e| format!("{e:.1?}")).unwrap_or_else(|| "-".into()),
+            elapsed
+                .map(|e| format!("{e:.1?}"))
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     table(
         "E7: availability during pass 3 (§7): side file + switch",
         &[
-            "run", "ops/s", "p99_upd", "bases_read", "stable_pts", "side_appended",
-            "side_applied", "pass3_time",
+            "run",
+            "ops/s",
+            "p99_upd",
+            "bases_read",
+            "stable_pts",
+            "side_appended",
+            "side_applied",
+            "pass3_time",
         ],
         &rows,
     )
@@ -565,7 +604,13 @@ pub fn e8_degradation(scale: Scale) -> String {
         }
         // One churn round: delete 40% of surviving keys, insert 25% new
         // (net shrink, like an aging table with free-at-empty).
-        let keys: Vec<u64> = db.tree().collect_all().unwrap().iter().map(|(k, _)| *k).collect();
+        let keys: Vec<u64> = db
+            .tree()
+            .collect_all()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| *k)
+            .collect();
         for k in keys {
             rng ^= rng << 13;
             rng ^= rng >> 7;
@@ -582,7 +627,15 @@ pub fn e8_degradation(scale: Scale) -> String {
     db.tree().validate().unwrap();
     table(
         "E8: free-at-empty degradation under churn (§2, [JS93])",
-        &["round", "records", "leaves", "fill", "disorder", "reads/1k-recs", "seek"],
+        &[
+            "round",
+            "records",
+            "leaves",
+            "fill",
+            "disorder",
+            "reads/1k-recs",
+            "seek",
+        ],
         &rows,
     )
 }

@@ -131,10 +131,7 @@ pub fn churned_database_with_latency(
 
 /// Cold full-range scan: evict the buffer pool, scan, report disk reads and
 /// seek distance.
-pub fn cold_scan_cost(
-    disk: &Arc<InMemoryDisk>,
-    db: &Arc<Database>,
-) -> (u64, u64) {
+pub fn cold_scan_cost(disk: &Arc<InMemoryDisk>, db: &Arc<Database>) -> (u64, u64) {
     db.pool().evict_all().expect("evict");
     disk.reset_stats();
     let _ = db.tree().range_scan(0, u64::MAX).expect("scan");

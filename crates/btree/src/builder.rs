@@ -184,7 +184,10 @@ impl UpperBuilder {
 
     fn start_page(&mut self, idx: usize, low_key: u64, child: PageId) -> BTreeResult<LevelState> {
         let level = self.child_level + 1 + idx as u8;
-        let id = self.fsm.allocate_internal().ok_or(StorageError::NoFreePage)?;
+        let id = self
+            .fsm
+            .allocate_internal()
+            .ok_or(StorageError::NoFreePage)?;
         let g = self.pool.fetch_new(id)?;
         let mut page = g.write();
         let mut node = NodeView::init(&mut page, level);
@@ -336,7 +339,10 @@ mod tests {
 
     fn env(pages: u32) -> (Arc<BufferPool>, Arc<FreeSpaceMap>) {
         let disk = Arc::new(InMemoryDisk::new(pages));
-        let pool = Arc::new(BufferPool::new(disk as Arc<dyn DiskManager>, pages as usize));
+        let pool = Arc::new(BufferPool::new(
+            disk as Arc<dyn DiskManager>,
+            pages as usize,
+        ));
         let fsm = Arc::new(FreeSpaceMap::new_all_free(pages));
         (pool, fsm)
     }

@@ -191,7 +191,8 @@ mod tests {
         let log = Arc::new(LogManager::new());
         let t = BTree::create(pool, fsm, log, side).unwrap();
         for k in 0..1000u64 {
-            t.insert(TxnId(1), Lsn::ZERO, k * 3, &k.to_le_bytes()).unwrap();
+            t.insert(TxnId(1), Lsn::ZERO, k * 3, &k.to_le_bytes())
+                .unwrap();
         }
         t
     }
@@ -236,10 +237,7 @@ mod tests {
             });
             // Stream the original range while the writer splits leaves
             // above it; every original record must be seen exactly once.
-            let got: Vec<u64> = t
-                .cursor(0, 2997)
-                .map(|r| r.unwrap().0)
-                .collect();
+            let got: Vec<u64> = t.cursor(0, 2997).map(|r| r.unwrap().0).collect();
             assert_eq!(got, (0..1000u64).map(|k| k * 3).collect::<Vec<_>>());
         });
     }

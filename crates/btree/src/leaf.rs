@@ -176,9 +176,7 @@ impl<'a> LeafView<'a> {
 
     /// All records in key order.
     pub fn records(&self) -> Vec<(u64, Vec<u8>)> {
-        self.walk()
-            .map(|(_, k, v)| (k, v.to_vec()))
-            .collect()
+        self.walk().map(|(_, k, v)| (k, v.to_vec())).collect()
     }
 
     /// All keys in order.

@@ -21,9 +21,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, MutexGuard};
 
-use obr_storage::{
-    BufferPool, FreeSpaceMap, Lsn, Page, PageId, PageType, StorageError, PAGE_SIZE,
-};
+use obr_storage::{BufferPool, FreeSpaceMap, Lsn, Page, PageId, PageType, StorageError, PAGE_SIZE};
 use obr_wal::{LogManager, LogRecord, TxnId};
 
 use crate::error::{BTreeError, BTreeResult};
@@ -362,11 +360,7 @@ impl BTree {
     /// Latch the leaf for `key` with a shared latch and run `f` on it,
     /// retrying around SMOs. The epoch is validated *while the latch is
     /// held*, so `f` never observes a leaf whose key range has moved.
-    fn with_leaf_read<T>(
-        &self,
-        key: u64,
-        mut f: impl FnMut(PageId, &Page) -> T,
-    ) -> BTreeResult<T> {
+    fn with_leaf_read<T>(&self, key: u64, mut f: impl FnMut(PageId, &Page) -> T) -> BTreeResult<T> {
         let mut spins = 0u32;
         loop {
             spins += 1;
@@ -383,8 +377,7 @@ impl BTree {
             let leaf_id = *path.last().expect("path never empty");
             let g = self.pool.fetch(leaf_id)?;
             let page = g.read();
-            if self.epoch.load(Ordering::Acquire) != e1
-                || page.page_type() != Some(PageType::Leaf)
+            if self.epoch.load(Ordering::Acquire) != e1 || page.page_type() != Some(PageType::Leaf)
             {
                 drop(page);
                 std::thread::yield_now();
@@ -416,8 +409,7 @@ impl BTree {
             let leaf_id = *path.last().expect("path never empty");
             let g = self.pool.fetch(leaf_id)?;
             let mut page = g.write();
-            if self.epoch.load(Ordering::Acquire) != e1
-                || page.page_type() != Some(PageType::Leaf)
+            if self.epoch.load(Ordering::Acquire) != e1 || page.page_type() != Some(PageType::Leaf)
             {
                 drop(page);
                 std::thread::yield_now();
@@ -638,11 +630,45 @@ impl BTree {
         Ok(())
     }
 
+    /// Debug-build invariant hook: validate the pages an SMO just rewrote,
+    /// while their latches are still held (so the check races with
+    /// nothing). Each page must be self-consistent, and a parent page must
+    /// actually route to every child the SMO registered. Release builds
+    /// compile this away.
+    #[cfg(debug_assertions)]
+    fn debug_assert_smo_pages(parent: Option<(&mut Page, &[PageId])>, leaves: &mut [&mut Page]) {
+        for page in leaves.iter_mut() {
+            match page.page_type() {
+                Some(PageType::Leaf) => LeafView::new(page)
+                    .validate()
+                    .expect("SMO produced an invalid leaf"),
+                _ => NodeView::new(page)
+                    .validate()
+                    .expect("SMO produced an invalid node"),
+            }
+        }
+        if let Some((ppage, children)) = parent {
+            NodeView::new(ppage)
+                .validate()
+                .expect("SMO produced an invalid parent");
+            let routed = NodeRef::new(ppage).children();
+            for child in children {
+                assert!(
+                    routed.contains(child),
+                    "SMO left child {child} unrouted in its parent"
+                );
+            }
+        }
+    }
+
     /// Replace the root with a new internal root holding one entry for the
     /// old root. Height grows by one.
     fn grow_root(&self, old_root: PageId) -> BTreeResult<()> {
         let (_, height) = self.anchor()?;
-        let new_root = self.fsm.allocate_internal().ok_or(StorageError::NoFreePage)?;
+        let new_root = self
+            .fsm
+            .allocate_internal()
+            .ok_or(StorageError::NoFreePage)?;
         let ng = self.pool.fetch_new(new_root)?;
         let og = self.pool.fetch(old_root)?;
         let mut npage = ng.write();
@@ -658,6 +684,8 @@ impl BTree {
             new_anchor: Some((new_root, height + 1)),
         });
         npage.set_lsn(lsn);
+        #[cfg(debug_assertions)]
+        Self::debug_assert_smo_pages(Some((&mut npage, &[old_root])), &mut []);
         drop(npage);
         drop(opage);
         self.set_anchor(new_root, height + 1, lsn)?;
@@ -667,7 +695,10 @@ impl BTree {
     /// Split a full internal node `node_id` under `parent_id` (which is
     /// guaranteed to have room).
     fn split_internal(&self, parent_id: PageId, node_id: PageId) -> BTreeResult<()> {
-        let new_id = self.fsm.allocate_internal().ok_or(StorageError::NoFreePage)?;
+        let new_id = self
+            .fsm
+            .allocate_internal()
+            .ok_or(StorageError::NoFreePage)?;
         let pg = self.pool.fetch(parent_id)?;
         let ng = self.pool.fetch(node_id)?;
         let sg = self.pool.fetch_new(new_id)?;
@@ -709,6 +740,11 @@ impl BTree {
         npage.set_lsn(lsn);
         spage.set_lsn(lsn);
         ppage.set_lsn(lsn);
+        #[cfg(debug_assertions)]
+        Self::debug_assert_smo_pages(
+            Some((&mut ppage, &[node_id, new_id])),
+            &mut [&mut npage, &mut spage],
+        );
         Ok(())
     }
 
@@ -873,6 +909,11 @@ impl BTree {
         lpage.set_lsn(lsn);
         spage.set_lsn(lsn);
         ppage.set_lsn(lsn);
+        #[cfg(debug_assertions)]
+        Self::debug_assert_smo_pages(
+            Some((&mut ppage, &[leaf_id, new_id])),
+            &mut [&mut lpage, &mut spage],
+        );
         let parent_level = ppage.level();
         for p in extra_lsn_pages {
             let g = self.pool.fetch(p)?;
@@ -1011,9 +1052,9 @@ impl BTree {
         }
         {
             let mut parent = NodeView::new(&mut ppage);
-            let low = parent.repoint_child(node_id, node_id).ok_or_else(|| {
-                BTreeError::Inconsistent(format!("node {node_id} not in parent"))
-            })?;
+            let low = parent
+                .repoint_child(node_id, node_id)
+                .ok_or_else(|| BTreeError::Inconsistent(format!("node {node_id} not in parent")))?;
             parent.remove_entry(low);
         }
         npage.format(PageType::Free, 0);
@@ -1309,12 +1350,7 @@ impl BTree {
             }
         }
         let built = crate::builder::bulk_build(
-            &self.pool,
-            &self.fsm,
-            records,
-            leaf_fill,
-            node_fill,
-            self.side,
+            &self.pool, &self.fsm, records, leaf_fill, node_fill, self.side,
         )?;
         self.set_anchor(built.root, built.height, Lsn::ZERO)?;
         self.pool.flush_all()?;
@@ -1334,7 +1370,10 @@ mod tests {
 
     fn setup(pages: u32) -> BTree {
         let disk = Arc::new(InMemoryDisk::new(pages));
-        let pool = Arc::new(BufferPool::new(disk as Arc<dyn DiskManager>, pages as usize));
+        let pool = Arc::new(BufferPool::new(
+            disk as Arc<dyn DiskManager>,
+            pages as usize,
+        ));
         let fsm = Arc::new(FreeSpaceMap::new_all_free(pages));
         let log = Arc::new(LogManager::new());
         BTree::create(pool, fsm, log, SidePointerMode::TwoWay).unwrap()

@@ -10,7 +10,10 @@ use obr_wal::{LogManager, TxnId};
 
 fn tree(pages: u32, side: SidePointerMode) -> BTree {
     let disk = Arc::new(InMemoryDisk::new(pages));
-    let pool = Arc::new(BufferPool::new(disk as Arc<dyn DiskManager>, pages as usize));
+    let pool = Arc::new(BufferPool::new(
+        disk as Arc<dyn DiskManager>,
+        pages as usize,
+    ));
     let fsm = Arc::new(FreeSpaceMap::new_all_free(pages));
     let log = Arc::new(LogManager::new());
     BTree::create(pool, fsm, log, side).unwrap()
@@ -116,7 +119,10 @@ fn no_side_pointers_mode_still_scans_correctly() {
     }
     t.validate().unwrap();
     let scan = t.range_scan(0, 2400).unwrap();
-    assert_eq!(scan.len(), (0..800).filter(|k| k % 2 == 1 && k * 3 <= 2400).count());
+    assert_eq!(
+        scan.len(),
+        (0..800).filter(|k| k % 2 == 1 && k * 3 <= 2400).count()
+    );
 }
 
 #[test]

@@ -1,0 +1,52 @@
+//! Static analysis and invariant verification for the on-line
+//! reorganization system: checks that prove structural and protocol
+//! invariants *without running a workload*.
+//!
+//! Three checkers, one per invariant family of the paper:
+//!
+//! - [`fsck`] — tree fsck. Walks a page file (or a live buffer pool) and
+//!   verifies key ordering within and across leaves, side-pointer chain
+//!   consistency (§4.3), parent/child key-range agreement under the
+//!   router's clamping semantics, free-space-map agreement, and the
+//!   per-base-page fill accounting that Pass 1's sparseness test (§4.1)
+//!   depends on.
+//! - [`lockcheck`] — lock-protocol model checker. Compares
+//!   [`obr_lock::LockMode`] against a declarative transcription of the
+//!   paper's Table 1 (§4), verifies the RX *forgone* conflict action and
+//!   RS instant duration against a live manager, and proves the
+//!   acquisition-order graph of every locking protocol acyclic
+//!   (deadlock-freedom among protocol followers).
+//! - [`wal_lint`] — WAL linter. Replays a log read-only and flags
+//!   careful-writing violations (§5.1), broken unit prev-LSN chains,
+//!   units that can neither be completed forward nor were finished
+//!   (§5.2), and checkpoint snapshots that reference the future (§5.3).
+//!
+//! All checkers report through [`Report`]; a clean report has no findings
+//! of any severity. The `obr-cli check` subcommand and the repository's CI
+//! run them; `debug_assertions` builds additionally run targeted local
+//! checks inside SMO and reorganization-unit paths.
+
+pub mod fsck;
+pub mod lockcheck;
+pub mod report;
+pub mod wal_lint;
+
+pub use fsck::{
+    fsck_db, fsck_file, fsck_source, BaseFill, FileSource, FsckOptions, FsckResult, FsckStats,
+    PageSource, PoolSource,
+};
+pub use lockcheck::{check_acquisition_order, check_compat_matrix, check_lock_protocol};
+pub use report::{Finding, Report, Severity};
+pub use wal_lint::{lint_log, lint_records, lint_wal_file, WalLintOptions};
+
+use obr_core::Database;
+
+/// Run every checker that applies to a live database: tree fsck over the
+/// buffer pool, WAL lint over the attached log (if any), and the
+/// lock-protocol model check. Returns the merged report.
+pub fn check_database(db: &Database) -> Report {
+    let mut report = fsck_db(db, &FsckOptions::default()).report;
+    report.merge(lint_log(db.log(), &WalLintOptions::default()));
+    report.merge(check_lock_protocol());
+    report
+}

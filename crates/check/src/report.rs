@@ -1,0 +1,185 @@
+//! Findings and reports shared by every checker.
+
+use std::fmt;
+
+use obr_storage::{Lsn, PageId};
+
+/// How bad a finding is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Suspicious but not provably wrong (e.g. a crash-shaped log tail).
+    Warning,
+    /// A violated invariant.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One violated (or suspicious) invariant, anchored to the page and/or LSN
+/// it was observed at.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Which checker produced this (`"fsck"`, `"locks"`, `"wal"`).
+    pub checker: &'static str,
+    /// Stable short identifier of the invariant, e.g. `"leaf-key-order"`.
+    pub code: &'static str,
+    /// Severity of the violation.
+    pub severity: Severity,
+    /// The page the finding names, when page-anchored.
+    pub page: Option<PageId>,
+    /// The log sequence number the finding names, when log-anchored.
+    pub lsn: Option<Lsn>,
+    /// Human-readable description of what was expected and what was found.
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} {}", self.checker, self.severity, self.code)?;
+        if let Some(p) = self.page {
+            write!(f, " page={p}")?;
+        }
+        if let Some(l) = self.lsn {
+            write!(f, " lsn={l}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// The outcome of one checker run: findings plus free-form summary lines.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All findings, in discovery order.
+    pub findings: Vec<Finding>,
+    /// Informational summary lines (never affect [`Report::is_clean`]).
+    pub info: Vec<String>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// True when no finding of any severity was recorded.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Number of [`Severity::Error`] findings.
+    pub fn error_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Record an error finding.
+    pub fn error(
+        &mut self,
+        checker: &'static str,
+        code: &'static str,
+        page: Option<PageId>,
+        lsn: Option<Lsn>,
+        detail: impl Into<String>,
+    ) {
+        self.findings.push(Finding {
+            checker,
+            code,
+            severity: Severity::Error,
+            page,
+            lsn,
+            detail: detail.into(),
+        });
+    }
+
+    /// Record a warning finding.
+    pub fn warning(
+        &mut self,
+        checker: &'static str,
+        code: &'static str,
+        page: Option<PageId>,
+        lsn: Option<Lsn>,
+        detail: impl Into<String>,
+    ) {
+        self.findings.push(Finding {
+            checker,
+            code,
+            severity: Severity::Warning,
+            page,
+            lsn,
+            detail: detail.into(),
+        });
+    }
+
+    /// Add an informational summary line.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.info.push(line.into());
+    }
+
+    /// Append every finding and note of `other` to `self`.
+    pub fn merge(&mut self, other: Report) {
+        self.findings.extend(other.findings);
+        self.info.extend(other.info);
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for line in &self.info {
+            writeln!(f, "  {line}")?;
+        }
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        if self.findings.is_empty() {
+            writeln!(f, "  clean: no findings")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_until_a_finding_lands() {
+        let mut r = Report::new();
+        r.note("checked 5 pages");
+        assert!(r.is_clean());
+        r.warning("fsck", "odd", Some(PageId(3)), None, "looks odd");
+        assert!(!r.is_clean());
+        assert_eq!(r.error_count(), 0);
+        r.error("wal", "torn", None, Some(Lsn(7)), "torn tail");
+        assert_eq!(r.error_count(), 1);
+    }
+
+    #[test]
+    fn display_names_page_and_lsn() {
+        let mut r = Report::new();
+        r.error("fsck", "chain", Some(PageId(9)), None, "broken chain");
+        let s = r.to_string();
+        assert!(s.contains("page=9"), "{s}");
+        assert!(s.contains("chain"), "{s}");
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = Report::new();
+        a.error("fsck", "x", None, None, "a");
+        let mut b = Report::new();
+        b.error("wal", "y", None, None, "b");
+        b.note("n");
+        a.merge(b);
+        assert_eq!(a.findings.len(), 2);
+        assert_eq!(a.info.len(), 1);
+    }
+}

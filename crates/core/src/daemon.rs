@@ -100,15 +100,9 @@ mod tests {
 
     fn sparse_db() -> Arc<Database> {
         let disk = Arc::new(InMemoryDisk::new(8192));
-        let db = Database::create(
-            disk as Arc<dyn DiskManager>,
-            8192,
-            SidePointerMode::TwoWay,
-        )
-        .unwrap();
-        let records: Vec<(u64, Vec<u8>)> = (0..2000u64)
-            .map(|k| (k, vec![0x44; 64]))
-            .collect();
+        let db =
+            Database::create(disk as Arc<dyn DiskManager>, 8192, SidePointerMode::TwoWay).unwrap();
+        let records: Vec<(u64, Vec<u8>)> = (0..2000u64).map(|k| (k, vec![0x44; 64])).collect();
         db.tree().bulk_load(&records, 0.25, 0.9).unwrap();
         db
     }

@@ -8,9 +8,7 @@ use std::sync::Arc;
 
 use obr_btree::{BTree, SidePointerMode};
 use obr_lock::{LockManager, OwnerId};
-use obr_storage::{
-    BufferPool, DiskManager, FreeSpaceMap, PageId, WalFlush,
-};
+use obr_storage::{BufferPool, DiskManager, FreeSpaceMap, PageId, WalFlush};
 use obr_wal::{CheckpointData, LogManager, LogRecord, ReorgStateTable, TxnId};
 
 use crate::error::CoreResult;

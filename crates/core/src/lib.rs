@@ -27,11 +27,11 @@ pub mod stats;
 pub use daemon::ReorgDaemon;
 pub use db::Database;
 pub use error::{CoreError, CoreResult};
+pub use pass3::{NewTreeEditor, Pass3Observer, STABLE_ALL_READ};
 pub use recovery::{recover, RecoveryReport};
 pub use reorg::{
     FailPoint, FailSite, LogStrategy, PlacementPolicy, ReorgConfig, ReorgDecision, ReorgStats,
     ReorgTrigger, Reorganizer,
 };
-pub use pass3::{NewTreeEditor, Pass3Observer, STABLE_ALL_READ};
 pub use sidefile::{SideEntry, SideFile, SideOp};
 pub use stats::DatabaseStats;

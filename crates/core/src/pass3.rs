@@ -100,7 +100,10 @@ impl SmoObserver for Pass3Observer {
         if key < self.db.get_current() {
             // Record-level locking on the side-file entry key (§7.2).
             let owner = self.db.new_owner();
-            let _ = self.db.locks().lock(owner, ResourceId::Key(key), LockMode::X);
+            let _ = self
+                .db
+                .locks()
+                .lock(owner, ResourceId::Key(key), LockMode::X);
             self.db.side_file().append(
                 TxnId::SYSTEM,
                 SideEntry {
@@ -115,7 +118,10 @@ impl SmoObserver for Pass3Observer {
     fn base_entry_removed(&self, key: u64) {
         if key < self.db.get_current() {
             let owner = self.db.new_owner();
-            let _ = self.db.locks().lock(owner, ResourceId::Key(key), LockMode::X);
+            let _ = self
+                .db
+                .locks()
+                .lock(owner, ResourceId::Key(key), LockMode::X);
             self.db.side_file().append(
                 TxnId::SYSTEM,
                 SideEntry {
@@ -218,10 +224,7 @@ impl<'a> NewTreeEditor<'a> {
             let g = pool.fetch(page_id)?;
             let page = g.read();
             let node = NodeRef::new(&page);
-            exact = node
-                .entries()
-                .iter()
-                .any(|&(k, _)| k == key);
+            exact = node.entries().iter().any(|&(k, _)| k == key);
             room = node.count() < NODE_CAPACITY;
         }
         if exact || room {
@@ -332,10 +335,9 @@ impl<'a> NewTreeEditor<'a> {
                 let g = pool.fetch(parent_id)?;
                 let mut page = g.write();
                 let mut node = NodeView::new(&mut page);
-                node.repoint_child(page_id, page_id)
-                    .inspect(|&low| {
-                        node.remove_entry(low);
-                    })
+                node.repoint_child(page_id, page_id).inspect(|&low| {
+                    node.remove_entry(low);
+                })
             };
             if removed.is_some() {
                 self.log_images(&[parent_id])?;
@@ -475,12 +477,10 @@ impl Reorganizer {
                     bases.push((g.read().low_mark(), b));
                 }
                 bases.sort();
-                bases
-                    .into_iter()
-                    .find(|(low, _)| {
-                        last_low.map(|l| *low > l).unwrap_or(true)
-                            && min_low.map(|m| *low >= m).unwrap_or(true)
-                    })
+                bases.into_iter().find(|(low, _)| {
+                    last_low.map(|l| *low > l).unwrap_or(true)
+                        && min_low.map(|m| *low >= m).unwrap_or(true)
+                })
             };
             let Some((low, base)) = next else { break };
             locks.lock(self.owner(), ResourceId::Page(base.0), LockMode::S)?;
@@ -595,7 +595,6 @@ impl Reorganizer {
         old_root: PageId,
         old_gen: u32,
     ) -> CoreResult<()> {
-
         let tree = db.tree();
         let locks = db.locks();
         let cfg = self.config();

@@ -94,7 +94,13 @@ pub fn recover(db: &Arc<Database>) -> CoreResult<RecoveryReport> {
             LogRecord::TxnCommit { txn } | LogRecord::TxnAbort { txn } => {
                 losers.remove(txn);
             }
-            LogRecord::TxnInsert { txn, page, key, value, .. } => {
+            LogRecord::TxnInsert {
+                txn,
+                page,
+                key,
+                value,
+                ..
+            } => {
                 if *page == SIDE_FILE_PAGE {
                     db.side_file().restore(*key, SideEntry::decode(value)?);
                     report.side_entries_restored += 1;
@@ -229,50 +235,59 @@ fn redo_one(db: &Arc<Database>, lsn: Lsn, rec: &LogRecord) -> CoreResult<bool> {
         Ok(page.lsn() < lsn)
     };
     match rec {
-        LogRecord::TxnInsert { page, key, value, .. } if *page != SIDE_FILE_PAGE
-            && behind(*page)? => {
-                let g = pool.fetch(*page)?;
-                let mut pg = g.write();
-                if pg.page_type() == Some(PageType::Leaf) {
-                    LeafView::new(&mut pg).upsert(*key, value)?;
-                }
-                pg.set_lsn(lsn);
-                return Ok(true);
+        LogRecord::TxnInsert {
+            page, key, value, ..
+        } if *page != SIDE_FILE_PAGE && behind(*page)? => {
+            let g = pool.fetch(*page)?;
+            let mut pg = g.write();
+            if pg.page_type() == Some(PageType::Leaf) {
+                LeafView::new(&mut pg).upsert(*key, value)?;
             }
-        LogRecord::TxnDelete { page, key, .. } if *page != SIDE_FILE_PAGE
-            && behind(*page)? => {
-                let g = pool.fetch(*page)?;
-                let mut pg = g.write();
-                if pg.page_type() == Some(PageType::Leaf) {
+            pg.set_lsn(lsn);
+            return Ok(true);
+        }
+        LogRecord::TxnDelete { page, key, .. } if *page != SIDE_FILE_PAGE && behind(*page)? => {
+            let g = pool.fetch(*page)?;
+            let mut pg = g.write();
+            if pg.page_type() == Some(PageType::Leaf) {
+                LeafView::new(&mut pg).remove(*key);
+            }
+            pg.set_lsn(lsn);
+            return Ok(true);
+        }
+        LogRecord::TxnUpdate {
+            page,
+            key,
+            new_value,
+            ..
+        } if behind(*page)? => {
+            let g = pool.fetch(*page)?;
+            let mut pg = g.write();
+            if pg.page_type() == Some(PageType::Leaf) {
+                LeafView::new(&mut pg).upsert(*key, new_value)?;
+            }
+            pg.set_lsn(lsn);
+            return Ok(true);
+        }
+        LogRecord::Clr {
+            page,
+            reinsert,
+            key,
+            value,
+            ..
+        } if behind(*page)? => {
+            let g = pool.fetch(*page)?;
+            let mut pg = g.write();
+            if pg.page_type() == Some(PageType::Leaf) {
+                if *reinsert {
+                    LeafView::new(&mut pg).upsert(*key, value)?;
+                } else {
                     LeafView::new(&mut pg).remove(*key);
                 }
-                pg.set_lsn(lsn);
-                return Ok(true);
             }
-        LogRecord::TxnUpdate { page, key, new_value, .. }
-            if behind(*page)? => {
-                let g = pool.fetch(*page)?;
-                let mut pg = g.write();
-                if pg.page_type() == Some(PageType::Leaf) {
-                    LeafView::new(&mut pg).upsert(*key, new_value)?;
-                }
-                pg.set_lsn(lsn);
-                return Ok(true);
-            }
-        LogRecord::Clr { page, reinsert, key, value, .. }
-            if behind(*page)? => {
-                let g = pool.fetch(*page)?;
-                let mut pg = g.write();
-                if pg.page_type() == Some(PageType::Leaf) {
-                    if *reinsert {
-                        LeafView::new(&mut pg).upsert(*key, value)?;
-                    } else {
-                        LeafView::new(&mut pg).remove(*key);
-                    }
-                }
-                pg.set_lsn(lsn);
-                return Ok(true);
-            }
+            pg.set_lsn(lsn);
+            return Ok(true);
+        }
         LogRecord::Smo { images, new_anchor } => {
             let mut any = false;
             for (p, image) in images {
@@ -292,7 +307,9 @@ fn redo_one(db: &Arc<Database>, lsn: Lsn, rec: &LogRecord) -> CoreResult<bool> {
             }
             return Ok(any);
         }
-        LogRecord::ReorgMove { org, dest, payload, .. } => {
+        LogRecord::ReorgMove {
+            org, dest, payload, ..
+        } => {
             return redo_move(db, lsn, *org, *dest, payload);
         }
         LogRecord::ReorgSwap {
@@ -308,38 +325,36 @@ fn redo_one(db: &Arc<Database>, lsn: Lsn, rec: &LogRecord) -> CoreResult<bool> {
             old_entries,
             new_entries,
             ..
-        }
-            if behind(*base_page)? => {
-                let g = pool.fetch(*base_page)?;
-                let mut pg = g.write();
-                if pg.page_type() == Some(PageType::Internal) {
-                    let mut node = NodeView::new(&mut pg);
-                    for (k, _) in old_entries {
-                        node.remove_entry(*k);
-                    }
-                    for (k, c) in new_entries {
-                        if node.set_child(*k, *c).is_err() {
-                            node.insert_entry(*k, *c)?;
-                        }
+        } if behind(*base_page)? => {
+            let g = pool.fetch(*base_page)?;
+            let mut pg = g.write();
+            if pg.page_type() == Some(PageType::Internal) {
+                let mut node = NodeView::new(&mut pg);
+                for (k, _) in old_entries {
+                    node.remove_entry(*k);
+                }
+                for (k, c) in new_entries {
+                    if node.set_child(*k, *c).is_err() {
+                        node.insert_entry(*k, *c)?;
                     }
                 }
-                pg.set_lsn(lsn);
-                return Ok(true);
             }
+            pg.set_lsn(lsn);
+            return Ok(true);
+        }
         LogRecord::ReorgSidePtr {
             page,
             new_left,
             new_right,
             ..
+        } if behind(*page)? => {
+            let g = pool.fetch(*page)?;
+            let mut pg = g.write();
+            pg.set_left_sibling(*new_left);
+            pg.set_right_sibling(*new_right);
+            pg.set_lsn(lsn);
+            return Ok(true);
         }
-            if behind(*page)? => {
-                let g = pool.fetch(*page)?;
-                let mut pg = g.write();
-                pg.set_left_sibling(*new_left);
-                pg.set_right_sibling(*new_right);
-                pg.set_lsn(lsn);
-                return Ok(true);
-            }
         LogRecord::Pass3Switch {
             new_root,
             new_height,
@@ -510,26 +525,46 @@ fn undo_txn(
     while cur != Lsn::ZERO {
         let Some(rec) = log.read(cur)? else { break };
         match rec {
-            LogRecord::TxnInsert { txn: t, page, key, prev_lsn, .. } if t == txn => {
+            LogRecord::TxnInsert {
+                txn: t,
+                page,
+                key,
+                prev_lsn,
+                ..
+            } if t == txn => {
                 if page != SIDE_FILE_PAGE {
                     tree.undo_insert(txn, key, prev_lsn)?;
                     report.clrs_written += 1;
                 }
                 cur = prev_lsn;
             }
-            LogRecord::TxnDelete { txn: t, page, key, old_value, prev_lsn } if t == txn => {
+            LogRecord::TxnDelete {
+                txn: t,
+                page,
+                key,
+                old_value,
+                prev_lsn,
+            } if t == txn => {
                 if page != SIDE_FILE_PAGE {
                     tree.undo_delete(txn, key, &old_value, prev_lsn)?;
                     report.clrs_written += 1;
                 }
                 cur = prev_lsn;
             }
-            LogRecord::TxnUpdate { txn: t, key, old_value, prev_lsn, .. } if t == txn => {
+            LogRecord::TxnUpdate {
+                txn: t,
+                key,
+                old_value,
+                prev_lsn,
+                ..
+            } if t == txn => {
                 tree.undo_update(txn, key, &old_value, prev_lsn)?;
                 report.clrs_written += 1;
                 cur = prev_lsn;
             }
-            LogRecord::Clr { txn: t, undo_next, .. } if t == txn => {
+            LogRecord::Clr {
+                txn: t, undo_next, ..
+            } if t == txn => {
                 cur = undo_next;
             }
             LogRecord::TxnBegin { txn: t } if t == txn => break,

@@ -331,8 +331,7 @@ impl Reorganizer {
             decision.compacted = true;
         }
         let stats = self.db.tree().stats()?;
-        let disorder =
-            stats.leaf_discontinuities() as f64 / (stats.leaf_pages.max(2) - 1) as f64;
+        let disorder = stats.leaf_discontinuities() as f64 / (stats.leaf_pages.max(2) - 1) as f64;
         if stats.leaf_pages >= trigger.min_leaves_for_swap && disorder > trigger.max_disorder {
             self.pass2_swap_move()?;
             decision.swapped = true;
@@ -342,9 +341,8 @@ impl Reorganizer {
             // least one level flatter: compare the current height with the
             // height a bottom-up build at node_fill would produce.
             let stats = self.db.tree().stats()?;
-            let per_page = ((obr_btree::node::NODE_CAPACITY as f64 * self.cfg.node_fill)
-                as usize)
-                .max(2);
+            let per_page =
+                ((obr_btree::node::NODE_CAPACITY as f64 * self.cfg.node_fill) as usize).max(2);
             let mut pages = stats.leaf_pages;
             let mut ideal_height = 0u8;
             while pages > 1 {
@@ -404,8 +402,7 @@ impl Reorganizer {
                 return Ok(()); // a root leaf has nothing to compact
             }
             // Snapshot the base page and its candidate entries.
-            let Some((base, group, group_bytes, last_key)) =
-                self.plan_group(cur_key, budget)?
+            let Some((base, group, group_bytes, last_key)) = self.plan_group(cur_key, budget)?
             else {
                 return Ok(()); // past the last key: pass 1 done
             };
@@ -489,11 +486,7 @@ impl Reorganizer {
 
     /// Choose the next group of same-parent leaves starting at `cur_key`.
     /// Returns `(base, [(entry_key, leaf)], total_bytes, last_record_key)`.
-    fn plan_group(
-        &self,
-        cur_key: u64,
-        budget: usize,
-    ) -> CoreResult<Option<PlannedGroup>> {
+    fn plan_group(&self, cur_key: u64, budget: usize) -> CoreResult<Option<PlannedGroup>> {
         let tree = self.db.tree();
         let pool = self.db.pool();
         // Descend for cur_key; if this base has no entry at/after cur_key,
@@ -669,11 +662,7 @@ impl Reorganizer {
 
     /// Neighbours of the unit in the side-pointer chain: the leaf left of
     /// `first` and the leaf right of `last`.
-    fn chain_neighbours(
-        &self,
-        first: PageId,
-        last: PageId,
-    ) -> CoreResult<(PageId, PageId)> {
+    fn chain_neighbours(&self, first: PageId, last: PageId) -> CoreResult<(PageId, PageId)> {
         let pool = self.db.pool();
         let left = {
             let g = pool.fetch(first)?;
@@ -858,11 +847,7 @@ impl Reorganizer {
                     pool.add_write_dependency(org, dest);
                 }
                 self.stats.lock().records_moved += records.len() as u64;
-                journal.push(MoveJournal {
-                    org,
-                    dest,
-                    records,
-                });
+                journal.push(MoveJournal { org, dest, records });
                 if first_move {
                     first_move = false;
                     self.check_fail(FailSite::AfterFirstMove)?;
@@ -937,9 +922,8 @@ impl Reorganizer {
                 node.remove_entry(*k);
             }
             for (k, c) in &new_entries {
-                node.insert_entry(*k, *c).map_err(|e| {
-                    CoreError::Recovery(format!("MODIFY insert failed: {e}"))
-                })?;
+                node.insert_entry(*k, *c)
+                    .map_err(|e| CoreError::Recovery(format!("MODIFY insert failed: {e}")))?;
             }
             bpage.set_lsn(lsn);
         }
@@ -956,6 +940,8 @@ impl Reorganizer {
             }
         }
         // --- END. ---
+        #[cfg(debug_assertions)]
+        self.debug_assert_unit_outcome(&[base], &[dest]);
         db.log().append(&LogRecord::ReorgEnd { unit, largest_key });
         db.reorg_table().finish_unit(largest_key);
         locks.release_all(owner);
@@ -972,6 +958,31 @@ impl Reorganizer {
         Ok(largest_key)
     }
 
+    /// Debug-build invariant hook, called at a unit boundary: END is about
+    /// to be logged and every unit lock is still held, so the pages the
+    /// unit rewrote are stable. Each base page must hold a valid sorted
+    /// entry list and each surviving leaf a valid sorted record list —
+    /// the same local invariants `obr-check`'s fsck verifies offline.
+    /// Release builds compile this away.
+    #[cfg(debug_assertions)]
+    fn debug_assert_unit_outcome(&self, bases: &[PageId], leaves: &[PageId]) {
+        let pool = self.db.pool();
+        for &id in bases {
+            let g = pool.fetch(id).expect("unit base page unreadable at END");
+            let mut page = g.read().clone();
+            NodeView::new(&mut page)
+                .validate()
+                .expect("reorganization unit left an invalid base page");
+        }
+        for &id in leaves {
+            let g = pool.fetch(id).expect("unit leaf unreadable at END");
+            let mut page = g.read().clone();
+            LeafView::new(&mut page)
+                .validate()
+                .expect("reorganization unit left an invalid leaf");
+        }
+    }
+
     /// Stitch the side-pointer chain after compaction: `left_n <-> dest <->
     /// right_n`, logging one SIDEPTR record per changed page.
     fn fix_chain_after_compact(
@@ -984,23 +995,21 @@ impl Reorganizer {
     ) -> CoreResult<()> {
         let db = &self.db;
         let pool = db.pool();
-        let log_side = |page: PageId,
-                        old: (PageId, PageId),
-                        new: (PageId, PageId)|
-         -> CoreResult<Lsn> {
-            let prev = db.reorg_table().recent_lsn();
-            let lsn = db.log().append(&LogRecord::ReorgSidePtr {
-                unit,
-                page,
-                old_left: old.0,
-                old_right: old.1,
-                new_left: new.0,
-                new_right: new.1,
-                prev_lsn: prev,
-            });
-            db.reorg_table().advance(lsn);
-            Ok(lsn)
-        };
+        let log_side =
+            |page: PageId, old: (PageId, PageId), new: (PageId, PageId)| -> CoreResult<Lsn> {
+                let prev = db.reorg_table().recent_lsn();
+                let lsn = db.log().append(&LogRecord::ReorgSidePtr {
+                    unit,
+                    page,
+                    old_left: old.0,
+                    old_right: old.1,
+                    new_left: new.0,
+                    new_right: new.1,
+                    prev_lsn: prev,
+                });
+                db.reorg_table().advance(lsn);
+                Ok(lsn)
+            };
         {
             let dg = pool.fetch(dest)?;
             let mut dpage = dg.write();
@@ -1180,19 +1189,17 @@ impl Reorganizer {
                 };
                 let occupied_by_ours = leaves.iter().position(|&l| l == target);
                 match (occupant_is_leaf, occupied_by_ours) {
-                    (true, Some(j)) if j > i => {
-                        match self.swap_unit_with_retries(leaf, target) {
-                            Ok(()) => {
-                                leaves[j] = leaf;
-                                leaves[i] = target;
-                            }
-                            Err(CoreError::TooManyRetries(_)) => {
-                                self.stats.lock().skipped_placements += 1;
-                                continue;
-                            }
-                            Err(e) => return Err(e),
+                    (true, Some(j)) if j > i => match self.swap_unit_with_retries(leaf, target) {
+                        Ok(()) => {
+                            leaves[j] = leaf;
+                            leaves[i] = target;
                         }
-                    }
+                        Err(CoreError::TooManyRetries(_)) => {
+                            self.stats.lock().skipped_placements += 1;
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    },
                     _ => {
                         // An internal/meta page sits in the leaf region (or
                         // a foreign leaf): leave this leaf where it is.
@@ -1254,15 +1261,11 @@ impl Reorganizer {
         let key = {
             let g = pool.fetch(leaf)?;
             let page = g.read();
-            LeafRef::new(&page)
-                .first_key()
-                .unwrap_or(page.low_mark())
+            LeafRef::new(&page).first_key().unwrap_or(page.low_mark())
         };
         let path = tree.path_for(key)?;
         if path.len() < 2 {
-            return Err(CoreError::Recovery(format!(
-                "leaf {leaf} has no base page"
-            )));
+            return Err(CoreError::Recovery(format!("leaf {leaf} has no base page")));
         }
         // The descent is by key; verify it actually reached this leaf (the
         // low mark is historical, so a probe may land left of it).
@@ -1387,6 +1390,8 @@ impl Reorganizer {
         pool.flush_page(target)?;
         pool.discard(src);
         db.fsm().free(src);
+        #[cfg(debug_assertions)]
+        self.debug_assert_unit_outcome(&[base], &[target]);
         db.log().append(&LogRecord::ReorgEnd { unit, largest_key });
         db.reorg_table().finish_unit(largest_key);
         locks.release_all(owner);
@@ -1503,10 +1508,8 @@ impl Reorganizer {
         locks.lock(owner, ResourceId::Page(a.0), LockMode::RX)?;
         locks.lock(owner, ResourceId::Page(b.0), LockMode::RX)?;
         let mut held_neighbours: Vec<PageId> = Vec::new();
-        let (a_left, a_right) =
-            self.lock_chain_neighbours(a, a, &[a, b], &mut held_neighbours)?;
-        let (b_left, b_right) =
-            self.lock_chain_neighbours(b, b, &[a, b], &mut held_neighbours)?;
+        let (a_left, a_right) = self.lock_chain_neighbours(a, a, &[a, b], &mut held_neighbours)?;
+        let (b_left, b_right) = self.lock_chain_neighbours(b, b, &[a, b], &mut held_neighbours)?;
         let unit = self.next_unit_id();
         let begin_lsn = db.log().append(&LogRecord::ReorgBegin {
             unit,
@@ -1594,6 +1597,8 @@ impl Reorganizer {
             let page = g.read();
             LeafRef::new(&page).last_key().unwrap_or(0)
         };
+        #[cfg(debug_assertions)]
+        self.debug_assert_unit_outcome(&bases, &[a, b]);
         db.log().append(&LogRecord::ReorgEnd { unit, largest_key });
         db.reorg_table().finish_unit(largest_key);
         locks.release_all(owner);

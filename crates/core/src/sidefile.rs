@@ -207,8 +207,8 @@ mod tests {
                 },
             );
         }
-        let keys: Vec<u64> = std::iter::from_fn(|| f.pop_front(TxnId(1)).map(|(_, e)| e.key))
-            .collect();
+        let keys: Vec<u64> =
+            std::iter::from_fn(|| f.pop_front(TxnId(1)).map(|(_, e)| e.key)).collect();
         assert_eq!(keys, vec![5, 1, 9]); // append order, not key order
         assert!(f.is_empty());
         assert_eq!(f.appended_total(), 3);

@@ -121,12 +121,8 @@ mod tests {
     #[test]
     fn snapshot_renders_every_section() {
         let disk = Arc::new(InMemoryDisk::new(1024));
-        let db = Database::create(
-            disk as Arc<dyn DiskManager>,
-            1024,
-            SidePointerMode::TwoWay,
-        )
-        .unwrap();
+        let db =
+            Database::create(disk as Arc<dyn DiskManager>, 1024, SidePointerMode::TwoWay).unwrap();
         let records: Vec<(u64, Vec<u8>)> = (0..500u64).map(|k| (k, vec![1; 32])).collect();
         db.tree().bulk_load(&records, 0.5, 0.9).unwrap();
         let s = db.stats().unwrap();
@@ -142,12 +138,8 @@ mod tests {
     #[test]
     fn disorder_fraction_bounds() {
         let disk = Arc::new(InMemoryDisk::new(256));
-        let db = Database::create(
-            disk as Arc<dyn DiskManager>,
-            256,
-            SidePointerMode::TwoWay,
-        )
-        .unwrap();
+        let db =
+            Database::create(disk as Arc<dyn DiskManager>, 256, SidePointerMode::TwoWay).unwrap();
         let s = db.stats().unwrap();
         assert_eq!(s.disorder_fraction(), 0.0); // single empty leaf
     }

@@ -7,8 +7,8 @@ use std::sync::Arc;
 
 use obr_btree::SidePointerMode;
 use obr_core::{
-    recover, CoreError, Database, FailPoint, FailSite, LogStrategy, PlacementPolicy,
-    ReorgConfig, Reorganizer,
+    recover, CoreError, Database, FailPoint, FailSite, LogStrategy, PlacementPolicy, ReorgConfig,
+    Reorganizer,
 };
 use obr_storage::{DiskManager, InMemoryDisk, PageId};
 
@@ -55,12 +55,7 @@ fn crash_and_recover(
     db2
 }
 
-fn run_site(
-    site: FailSite,
-    nth: u64,
-    strategy: LogStrategy,
-    keep_mod: u64,
-) {
+fn run_site(site: FailSite, nth: u64, strategy: LogStrategy, keep_mod: u64) {
     let side = SidePointerMode::TwoWay;
     let sc = setup(side);
     let cfg = ReorgConfig {
@@ -81,7 +76,9 @@ fn run_site(
         keep_mod != 0 && i.is_multiple_of(keep_mod)
     });
     // The reorganization completes from LK.
-    Reorganizer::new(Arc::clone(&db2), cfg).pass1_compact().unwrap();
+    Reorganizer::new(Arc::clone(&db2), cfg)
+        .pass1_compact()
+        .unwrap();
     db2.tree().validate().unwrap();
     assert_eq!(db2.tree().collect_all().unwrap(), sc.expected);
     assert!(db2.tree().stats().unwrap().avg_leaf_fill > 0.7);
@@ -255,7 +252,9 @@ fn double_crash_within_one_unit() {
     recover(&db3).unwrap();
     db3.tree().validate().unwrap();
     assert_eq!(db3.tree().collect_all().unwrap(), sc.expected);
-    Reorganizer::new(Arc::clone(&db3), cfg).pass1_compact().unwrap();
+    Reorganizer::new(Arc::clone(&db3), cfg)
+        .pass1_compact()
+        .unwrap();
     assert_eq!(db3.tree().collect_all().unwrap(), sc.expected);
     assert!(db3.tree().stats().unwrap().avg_leaf_fill > 0.7);
 }
@@ -278,7 +277,12 @@ fn two_region_layout_packs_leaves_perfectly() {
     db.tree().bulk_load(&records, 0.85, 0.9).unwrap();
     for k in 0..2000u64 {
         db.tree()
-            .insert(obr_wal::TxnId(1), obr_storage::Lsn::ZERO, k * 2 + 1, &val(k))
+            .insert(
+                obr_wal::TxnId(1),
+                obr_storage::Lsn::ZERO,
+                k * 2 + 1,
+                &val(k),
+            )
             .unwrap();
     }
     let mut rng = 0x2222u64;
@@ -287,14 +291,19 @@ fn two_region_layout_packs_leaves_perfectly() {
         rng ^= rng >> 7;
         rng ^= rng << 17;
         if !rng.is_multiple_of(4) {
-            let _ = db.tree().delete(obr_wal::TxnId(1), obr_storage::Lsn::ZERO, k);
+            let _ = db
+                .tree()
+                .delete(obr_wal::TxnId(1), obr_storage::Lsn::ZERO, k);
         }
     }
     let expected = db.tree().collect_all().unwrap();
-    let reorg = Reorganizer::new(Arc::clone(&db), ReorgConfig {
-        shrink_pass: false,
-        ..ReorgConfig::default()
-    });
+    let reorg = Reorganizer::new(
+        Arc::clone(&db),
+        ReorgConfig {
+            shrink_pass: false,
+            ..ReorgConfig::default()
+        },
+    );
     reorg.pass1_compact().unwrap();
     reorg.pass2_swap_move().unwrap();
     db.tree().validate().unwrap();
@@ -376,14 +385,19 @@ fn active_transaction_pins_the_low_water_mark() {
             .insert(t2, obr_storage::Lsn::ZERO, 200_000 + k, &val(k))
             .unwrap();
         sc.db.note_txn_lsn(t2, l);
-        sc.db.log().append_force(&obr_wal::LogRecord::TxnCommit { txn: t2 });
+        sc.db
+            .log()
+            .append_force(&obr_wal::LogRecord::TxnCommit { txn: t2 });
         sc.db.end_txn(t2);
     }
     sc.db.checkpoint();
     // The open transaction's BEGIN precedes its first insert; the mark may
     // never pass it while the transaction lives.
     let mark_while_open = sc.db.log_low_water_mark();
-    assert!(mark_while_open < first_lsn, "{mark_while_open} vs {first_lsn}");
+    assert!(
+        mark_while_open < first_lsn,
+        "{mark_while_open} vs {first_lsn}"
+    );
     sc.db.end_txn(txn);
     sc.db.checkpoint();
     assert!(sc.db.log_low_water_mark() > mark_while_open);
@@ -394,7 +408,12 @@ fn trigger_skips_healthy_trees_and_fixes_sick_ones() {
     use obr_core::ReorgTrigger;
     // A healthy tree: nothing should run.
     let disk = Arc::new(InMemoryDisk::new(8192));
-    let db = Database::create(Arc::clone(&disk) as Arc<dyn DiskManager>, 8192, SidePointerMode::TwoWay).unwrap();
+    let db = Database::create(
+        Arc::clone(&disk) as Arc<dyn DiskManager>,
+        8192,
+        SidePointerMode::TwoWay,
+    )
+    .unwrap();
     let records: Vec<(u64, Vec<u8>)> = (0..2000u64).map(|k| (k, val(k))).collect();
     db.tree().bulk_load(&records, 0.9, 0.9).unwrap();
     let r = Reorganizer::new(Arc::clone(&db), ReorgConfig::default());

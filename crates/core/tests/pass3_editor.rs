@@ -72,7 +72,9 @@ fn editor_upserts_split_full_base_pages_and_grow_the_root() {
     let mut new_entries = Vec::new();
     for k in 0..40u64 {
         let key = k * 2 + 1; // odd keys split existing full leaves
-        db.tree().insert(TxnId(1), Lsn::ZERO, key, &val(key)).unwrap();
+        db.tree()
+            .insert(TxnId(1), Lsn::ZERO, key, &val(key))
+            .unwrap();
         // Find where the key landed in the *old* tree.
         let leaf = db.tree().leaf_for(key).unwrap();
         let path = db.tree().path_for(key).unwrap();

@@ -9,8 +9,12 @@ use obr_storage::{DiskManager, InMemoryDisk};
 
 fn db(pages: u32) -> Arc<Database> {
     let disk = Arc::new(InMemoryDisk::new(pages));
-    Database::create(disk as Arc<dyn DiskManager>, pages as usize, SidePointerMode::TwoWay)
-        .unwrap()
+    Database::create(
+        disk as Arc<dyn DiskManager>,
+        pages as usize,
+        SidePointerMode::TwoWay,
+    )
+    .unwrap()
 }
 
 #[test]
@@ -72,7 +76,9 @@ fn pass2_alone_orders_an_uncompacted_tree() {
     let records: Vec<(u64, Vec<u8>)> = (0..1000u64).map(|k| (k * 2, vec![3; 64])).collect();
     d.tree().bulk_load(&records, 0.85, 0.9).unwrap();
     for k in 0..1000u64 {
-        d.tree().insert(TxnId(1), Lsn::ZERO, k * 2 + 1, &[4; 64]).unwrap();
+        d.tree()
+            .insert(TxnId(1), Lsn::ZERO, k * 2 + 1, &[4; 64])
+            .unwrap();
     }
     let before = d.tree().stats().unwrap();
     assert!(before.leaf_discontinuities() > 0);

@@ -4,8 +4,7 @@ use std::sync::Arc;
 
 use obr_btree::SidePointerMode;
 use obr_core::{
-    recover, Database, FailPoint, FailSite, LogStrategy, PlacementPolicy, ReorgConfig,
-    Reorganizer,
+    recover, Database, FailPoint, FailSite, LogStrategy, PlacementPolicy, ReorgConfig, Reorganizer,
 };
 use obr_storage::{DiskManager, InMemoryDisk, Lsn};
 
@@ -196,8 +195,12 @@ fn keys_only_logging_is_much_smaller_than_full_records() {
     c1.log_strategy = LogStrategy::KeysOnly;
     let mut c2 = cfg(false, false);
     c2.log_strategy = LogStrategy::FullRecords;
-    Reorganizer::new(Arc::clone(&db1), c1).pass1_compact().unwrap();
-    Reorganizer::new(Arc::clone(&db2), c2).pass1_compact().unwrap();
+    Reorganizer::new(Arc::clone(&db1), c1)
+        .pass1_compact()
+        .unwrap();
+    Reorganizer::new(Arc::clone(&db2), c2)
+        .pass1_compact()
+        .unwrap();
     let b1 = db1.log().stats().reorg_bytes;
     let b2 = db2.log().stats().reorg_bytes;
     assert!(
@@ -238,7 +241,9 @@ fn reorganization_preserves_data_under_concurrent_record_ops() {
             // Bare record ops race the reorganizer through the SMO epoch.
             for i in 0..500u64 {
                 let k = 1_000_000 + i;
-                db2.tree().insert(TxnId(99), Lsn::ZERO, k, &val(k, 32)).unwrap();
+                db2.tree()
+                    .insert(TxnId(99), Lsn::ZERO, k, &val(k, 32))
+                    .unwrap();
                 if i % 3 == 0 {
                     db2.tree().delete(TxnId(99), Lsn::ZERO, k).unwrap();
                 }

@@ -192,7 +192,9 @@ impl LockManager {
 
     /// Blocking lock acquisition (with conversion support).
     pub fn lock(&self, owner: OwnerId, res: ResourceId, mode: LockMode) -> Result<(), LockError> {
-        self.lock_inner(owner, res, mode, /*try_only=*/ false, /*instant=*/ false)
+        self.lock_inner(
+            owner, res, mode, /*try_only=*/ false, /*instant=*/ false,
+        )
     }
 
     /// Non-blocking acquisition: fails with [`LockError::WouldBlock`]
@@ -291,10 +293,7 @@ impl LockManager {
                         self.cv.notify_all();
                         // Loop around: the victim will dequeue itself.
                     }
-                    let timed_out = self
-                        .cv
-                        .wait_until(&mut st, deadline)
-                        .timed_out();
+                    let timed_out = self.cv.wait_until(&mut st, deadline).timed_out();
                     // Were we chosen as a victim while sleeping?
                     if Self::is_victim(&st, res, ticket) {
                         Self::remove_waiter(&mut st, res, ticket);
@@ -502,8 +501,8 @@ impl LockManager {
                 // Earlier conflicting waiters also block us (fairness rule).
                 for v in &q.waiters {
                     if v.ticket < w.ticket && v.owner != w.owner && !v.victim {
-                        let conflict = !(v.mode.compatible_with(w.mode)
-                            && w.mode.compatible_with(v.mode));
+                        let conflict =
+                            !(v.mode.compatible_with(w.mode) && w.mode.compatible_with(v.mode));
                         if conflict {
                             deps.insert(v.owner);
                         }
@@ -681,8 +680,14 @@ mod tests {
         assert!(start.elapsed() < Duration::from_millis(100));
         assert_eq!(m.stats().forgone, 1);
         // An updater's X and IX requests too.
-        assert_eq!(m.lock(OwnerId(2), PAGE, X).unwrap_err(), LockError::ConflictsWithReorg);
-        assert_eq!(m.lock(OwnerId(3), PAGE, IX).unwrap_err(), LockError::ConflictsWithReorg);
+        assert_eq!(
+            m.lock(OwnerId(2), PAGE, X).unwrap_err(),
+            LockError::ConflictsWithReorg
+        );
+        assert_eq!(
+            m.lock(OwnerId(3), PAGE, IX).unwrap_err(),
+            LockError::ConflictsWithReorg
+        );
     }
 
     #[test]
@@ -748,7 +753,10 @@ mod tests {
     fn try_lock_reports_would_block() {
         let m = mgr();
         m.lock(OwnerId(1), PAGE, X).unwrap();
-        assert_eq!(m.try_lock(OwnerId(2), PAGE, S).unwrap_err(), LockError::WouldBlock);
+        assert_eq!(
+            m.try_lock(OwnerId(2), PAGE, S).unwrap_err(),
+            LockError::WouldBlock
+        );
     }
 
     #[test]

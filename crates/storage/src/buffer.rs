@@ -52,7 +52,9 @@ pub struct FrameGuard {
 
 impl std::fmt::Debug for FrameGuard {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FrameGuard").field("id", &self.frame.id).finish()
+        f.debug_struct("FrameGuard")
+            .field("id", &self.frame.id)
+            .finish()
     }
 }
 
@@ -133,9 +135,10 @@ impl BufferPool {
     }
 
     fn touch(&self, frame: &Frame) {
-        frame
-            .last_used
-            .store(self.clock.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+        frame.last_used.store(
+            self.clock.fetch_add(1, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
     }
 
     /// Pin `id`, reading it from disk on a miss.
@@ -313,7 +316,10 @@ impl BufferPool {
     /// happened to write that page out before power was lost. Prerequisites
     /// of every written page are written too (careful writing guarantees the
     /// buffer manager never schedules them in the other order).
-    pub fn simulate_crash(&self, mut keep: impl FnMut(PageId) -> bool) -> StorageResult<Vec<PageId>> {
+    pub fn simulate_crash(
+        &self,
+        mut keep: impl FnMut(PageId) -> bool,
+    ) -> StorageResult<Vec<PageId>> {
         let dirty: Vec<PageId> = {
             let frames = self.frames.lock();
             frames

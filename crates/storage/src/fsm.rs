@@ -121,10 +121,7 @@ impl FreeSpaceMap {
     pub fn allocate_leaf(&self) -> Option<PageId> {
         let mut g = self.inner.lock();
         let b = g.leaf_boundary as usize;
-        let idx = match g.free[b.min(g.free.len())..]
-            .iter()
-            .position(|&f| f)
-        {
+        let idx = match g.free[b.min(g.free.len())..].iter().position(|&f| f) {
             Some(i) => b + i,
             None => g.free.iter().position(|&f| f)?,
         };

@@ -20,4 +20,4 @@ pub use buffer::{BufferPool, FrameGuard, WalFlush};
 pub use disk::{DiskManager, DiskStats, FileDisk, InMemoryDisk};
 pub use error::{StorageError, StorageResult};
 pub use fsm::FreeSpaceMap;
-pub use page::{Lsn, Page, PageId, PageType, PAGE_SIZE};
+pub use page::{Lsn, Page, PageId, PageType, HEADER_SIZE, PAGE_SIZE};

@@ -167,7 +167,11 @@ impl Txn {
     /// generation (the tree's lock *name*, which changes at a switch §7.4).
     fn lock_tree(&self, mode: LockMode) -> TxnResult<u32> {
         let gen = self.db.tree().generation().map_err(CoreError::Tree)?;
-        self.lockmap(self.db.locks().lock(self.owner, ResourceId::Tree(gen), mode))?;
+        self.lockmap(
+            self.db
+                .locks()
+                .lock(self.owner, ResourceId::Tree(gen), mode),
+        )?;
         Ok(gen)
     }
 
@@ -339,25 +343,35 @@ impl Txn {
                 break;
             };
             cur = match rec {
-                LogRecord::TxnInsert { txn, key, prev_lsn, .. } if txn == self.id => {
+                LogRecord::TxnInsert {
+                    txn, key, prev_lsn, ..
+                } if txn == self.id => {
                     self.db
                         .tree()
                         .undo_insert(self.id, key, prev_lsn)
                         .map_err(CoreError::Tree)?;
                     prev_lsn
                 }
-                LogRecord::TxnDelete { txn, key, old_value, prev_lsn, .. }
-                    if txn == self.id =>
-                {
+                LogRecord::TxnDelete {
+                    txn,
+                    key,
+                    old_value,
+                    prev_lsn,
+                    ..
+                } if txn == self.id => {
                     self.db
                         .tree()
                         .undo_delete(self.id, key, &old_value, prev_lsn)
                         .map_err(CoreError::Tree)?;
                     prev_lsn
                 }
-                LogRecord::TxnUpdate { txn, key, old_value, prev_lsn, .. }
-                    if txn == self.id =>
-                {
+                LogRecord::TxnUpdate {
+                    txn,
+                    key,
+                    old_value,
+                    prev_lsn,
+                    ..
+                } if txn == self.id => {
                     self.db
                         .tree()
                         .undo_update(self.id, key, &old_value, prev_lsn)
@@ -396,12 +410,8 @@ mod tests {
 
     fn session() -> Session {
         let disk = Arc::new(InMemoryDisk::new(1024));
-        let db = Database::create(
-            disk as Arc<dyn DiskManager>,
-            1024,
-            SidePointerMode::TwoWay,
-        )
-        .unwrap();
+        let db =
+            Database::create(disk as Arc<dyn DiskManager>, 1024, SidePointerMode::TwoWay).unwrap();
         Session::new(db)
     }
 
@@ -450,7 +460,10 @@ mod tests {
             s.insert(k * 2, &k.to_le_bytes()).unwrap();
         }
         let r = s.scan(10, 20).unwrap();
-        assert_eq!(r.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![10, 12, 14, 16, 18, 20]);
+        assert_eq!(
+            r.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![10, 12, 14, 16, 18, 20]
+        );
     }
 
     #[test]

@@ -340,7 +340,9 @@ pub fn degrade(db: &Arc<Database>, n: u64, value_len: usize, delete_fraction: f6
             (k, v)
         })
         .collect();
-    db.tree().bulk_load(&records, 0.95, 0.95).expect("bulk load");
+    db.tree()
+        .bulk_load(&records, 0.95, 0.95)
+        .expect("bulk load");
     let mut rng = StdRng::seed_from_u64(seed);
     for k in 0..n {
         if rng.gen_bool(delete_fraction) {
@@ -357,8 +359,12 @@ mod tests {
 
     fn db(pages: u32) -> Arc<Database> {
         let disk = Arc::new(InMemoryDisk::new(pages));
-        Database::create(disk as Arc<dyn DiskManager>, pages as usize, SidePointerMode::TwoWay)
-            .unwrap()
+        Database::create(
+            disk as Arc<dyn DiskManager>,
+            pages as usize,
+            SidePointerMode::TwoWay,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -407,7 +413,11 @@ mod tests {
         let d = db(4096);
         degrade(&d, 3000, 64, 0.7, 11);
         let stats = d.tree().stats().unwrap();
-        assert!(stats.avg_leaf_fill < 0.5, "fill {} should be sparse", stats.avg_leaf_fill);
+        assert!(
+            stats.avg_leaf_fill < 0.5,
+            "fill {} should be sparse",
+            stats.avg_leaf_fill
+        );
         d.tree().validate().unwrap();
     }
 

@@ -135,7 +135,9 @@ impl LogManager {
             }
             let frame = buf[pos + 4..pos + 4 + len].to_vec();
             // Validate before accepting (a corrupt frame ends the log).
-            let Ok(rec) = LogRecord::decode(&frame) else { break };
+            let Ok(rec) = LogRecord::decode(&frame) else {
+                break;
+            };
             stats.records += 1;
             stats.bytes += frame.len() as u64;
             if rec.is_reorg() {
@@ -576,7 +578,9 @@ mod tests {
         for _ in 0..8 {
             let log = std::sync::Arc::clone(&log);
             handles.push(std::thread::spawn(move || {
-                (0..100).map(|i| log.append(&begin(i)).0).collect::<Vec<_>>()
+                (0..100)
+                    .map(|i| log.append(&begin(i)).0)
+                    .collect::<Vec<_>>()
             }));
         }
         let mut all: Vec<u64> = handles

@@ -1067,53 +1067,98 @@ mod tests {
     fn arb_payload() -> impl Strategy<Value = MovePayload> {
         prop_oneof![
             prop::collection::vec(any::<u64>(), 0..64).prop_map(MovePayload::Keys),
-            prop::collection::vec((any::<u64>(), prop::collection::vec(any::<u8>(), 0..32)), 0..32)
-                .prop_map(MovePayload::Records),
+            prop::collection::vec(
+                (any::<u64>(), prop::collection::vec(any::<u8>(), 0..32)),
+                0..32
+            )
+            .prop_map(MovePayload::Records),
         ]
     }
 
     /// A strategy over (almost) the whole record space, including images.
     fn arb_record() -> impl Strategy<Value = LogRecord> {
-        let img = prop::collection::vec(any::<u8>(), PAGE_SIZE..=PAGE_SIZE)
-            .prop_map(|v| -> Box<[u8; PAGE_SIZE]> {
+        let img = prop::collection::vec(any::<u8>(), PAGE_SIZE..=PAGE_SIZE).prop_map(
+            |v| -> Box<[u8; PAGE_SIZE]> {
                 let mut b = Box::new([0u8; PAGE_SIZE]);
                 b.copy_from_slice(&v);
                 b
-            });
+            },
+        );
         prop_oneof![
             any::<u64>().prop_map(|t| LogRecord::TxnBegin { txn: TxnId(t) }),
             any::<u64>().prop_map(|t| LogRecord::TxnCommit { txn: TxnId(t) }),
-            (any::<u64>(), any::<u32>(), any::<u64>(),
-             prop::collection::vec(any::<u8>(), 0..64), any::<u64>())
+            (
+                any::<u64>(),
+                any::<u32>(),
+                any::<u64>(),
+                prop::collection::vec(any::<u8>(), 0..64),
+                any::<u64>()
+            )
                 .prop_map(|(t, p, k, v, l)| LogRecord::TxnInsert {
-                    txn: TxnId(t), page: PageId(p), key: k, value: v, prev_lsn: Lsn(l),
-                }),
-            (any::<u64>(), any::<u32>(), any::<bool>(), any::<u64>(),
-             prop::collection::vec(any::<u8>(), 0..64), any::<u64>())
-                .prop_map(|(t, p, r, k, v, l)| LogRecord::Clr {
-                    txn: TxnId(t), page: PageId(p), reinsert: r, key: k, value: v,
-                    undo_next: Lsn(l),
-                }),
-            (any::<u64>(), any::<u32>(), any::<u32>(), arb_payload(), any::<u64>())
-                .prop_map(|(u, o, d, pl, l)| LogRecord::ReorgMove {
-                    unit: UnitId(u), org: PageId(o), dest: PageId(d), payload: pl,
+                    txn: TxnId(t),
+                    page: PageId(p),
+                    key: k,
+                    value: v,
                     prev_lsn: Lsn(l),
                 }),
-            (any::<u64>(), any::<u32>(), any::<u32>(), img, any::<u64>())
-                .prop_map(|(u, a, b, i, l)| LogRecord::ReorgSwap {
-                    unit: UnitId(u), page_a: PageId(a), page_b: PageId(b),
-                    image_a_old: i, prev_lsn: Lsn(l),
+            (
+                any::<u64>(),
+                any::<u32>(),
+                any::<bool>(),
+                any::<u64>(),
+                prop::collection::vec(any::<u8>(), 0..64),
+                any::<u64>()
+            )
+                .prop_map(|(t, p, r, k, v, l)| LogRecord::Clr {
+                    txn: TxnId(t),
+                    page: PageId(p),
+                    reinsert: r,
+                    key: k,
+                    value: v,
+                    undo_next: Lsn(l),
                 }),
-            (any::<u64>(), any::<u32>(),
-             prop::collection::vec((any::<u64>(), any::<u32>().prop_map(PageId)), 0..32),
-             prop::collection::vec((any::<u64>(), any::<u32>().prop_map(PageId)), 0..32),
-             any::<u64>())
+            (
+                any::<u64>(),
+                any::<u32>(),
+                any::<u32>(),
+                arb_payload(),
+                any::<u64>()
+            )
+                .prop_map(|(u, o, d, pl, l)| LogRecord::ReorgMove {
+                    unit: UnitId(u),
+                    org: PageId(o),
+                    dest: PageId(d),
+                    payload: pl,
+                    prev_lsn: Lsn(l),
+                }),
+            (any::<u64>(), any::<u32>(), any::<u32>(), img, any::<u64>()).prop_map(
+                |(u, a, b, i, l)| LogRecord::ReorgSwap {
+                    unit: UnitId(u),
+                    page_a: PageId(a),
+                    page_b: PageId(b),
+                    image_a_old: i,
+                    prev_lsn: Lsn(l),
+                }
+            ),
+            (
+                any::<u64>(),
+                any::<u32>(),
+                prop::collection::vec((any::<u64>(), any::<u32>().prop_map(PageId)), 0..32),
+                prop::collection::vec((any::<u64>(), any::<u32>().prop_map(PageId)), 0..32),
+                any::<u64>()
+            )
                 .prop_map(|(u, b, old, new, l)| LogRecord::ReorgModify {
-                    unit: UnitId(u), base_page: PageId(b), old_entries: old,
-                    new_entries: new, prev_lsn: Lsn(l),
+                    unit: UnitId(u),
+                    base_page: PageId(b),
+                    old_entries: old,
+                    new_entries: new,
+                    prev_lsn: Lsn(l),
                 }),
             (any::<u64>(), any::<u32>()).prop_map(|(k, r)| LogRecord::Pass3Stable {
-                state: Pass3State { stable_key: k, new_root: PageId(r) },
+                state: Pass3State {
+                    stable_key: k,
+                    new_root: PageId(r)
+                },
             }),
         ]
     }

@@ -16,8 +16,8 @@ use obr::txn::Session;
 
 fn main() {
     let disk = Arc::new(InMemoryDisk::new(32_768));
-    let db = Database::create_with_regions(disk, 32_768, SidePointerMode::TwoWay, 1024)
-        .expect("create");
+    let db =
+        Database::create_with_regions(disk, 32_768, SidePointerMode::TwoWay, 1024).expect("create");
     let session = Session::new(Arc::clone(&db));
 
     println!("loading 12,000 records...");
@@ -67,5 +67,8 @@ fn main() {
     let decisions = daemon.stop().expect("daemon");
     println!("\ndaemon made {} reorganization run(s)", decisions.len());
     db.tree().validate().expect("validate");
-    println!("tree valid; final fill {:.2}", db.tree().stats().unwrap().avg_leaf_fill);
+    println!(
+        "tree valid; final fill {:.2}",
+        db.tree().stats().unwrap().avg_leaf_fill
+    );
 }

@@ -9,9 +9,7 @@
 use std::sync::Arc;
 
 use obr::btree::SidePointerMode;
-use obr::core::{
-    recover, Database, FailPoint, FailSite, ReorgConfig, Reorganizer,
-};
+use obr::core::{recover, Database, FailPoint, FailSite, ReorgConfig, Reorganizer};
 use obr::storage::{DiskManager, InMemoryDisk};
 use obr::txn::Session;
 
@@ -71,7 +69,10 @@ fn main() {
         "  forward recovery: {} unit(s) completed forward, {} records preserved",
         report.forward_units_completed, report.records_preserved
     );
-    println!("  pages reclaimed by FSM rebuild: {}", report.pages_reclaimed);
+    println!(
+        "  pages reclaimed by FSM rebuild: {}",
+        report.pages_reclaimed
+    );
     db2.tree().validate().expect("validate");
     assert_eq!(db2.tree().collect_all().expect("collect"), expected);
     println!("  all {} records intact", expected.len());

@@ -49,17 +49,13 @@ fn main() {
     }
 
     let (rows, reads, seek) = cold_scan(&disk, &db, 2_000, 10_000);
-    println!(
-        "before reorganization: {rows} rows in {reads} page reads, seek distance {seek}"
-    );
+    println!("before reorganization: {rows} rows in {reads} page reads, seek distance {seek}");
 
     let reorg = Reorganizer::new(Arc::clone(&db), ReorgConfig::default());
     reorg.run().expect("reorganize");
 
     let (rows2, reads2, seek2) = cold_scan(&disk, &db, 2_000, 10_000);
-    println!(
-        "after  reorganization: {rows2} rows in {reads2} page reads, seek distance {seek2}"
-    );
+    println!("after  reorganization: {rows2} rows in {reads2} page reads, seek distance {seek2}");
     assert_eq!(rows, rows2, "reorganization must not change query results");
     println!(
         "improvement: {:.1}x fewer reads, {:.1}x less seeking",

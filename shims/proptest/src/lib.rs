@@ -1,0 +1,235 @@
+//! In-repo shim for the `proptest` crate (the build environment is offline).
+//!
+//! A miniature property-testing engine with the API slice this workspace
+//! uses: the [`Strategy`] trait with `prop_map`/`boxed`, [`any`],
+//! range/tuple strategies, `prop::collection::{vec, btree_set}`,
+//! `prop::sample::Index`, weighted [`prop_oneof!`], and the [`proptest!`]
+//! test macro with `#![proptest_config(..)]`.
+//!
+//! Differences from real proptest, by design:
+//! - **No shrinking.** A failing case reports its deterministic case index
+//!   (re-run with the same binary to reproduce); it is not minimized.
+//! - **Deterministic seeding.** Each test's RNG is seeded from the test's
+//!   module path + case index, so failures reproduce across runs.
+//! - Default case count is 64 (override per-block with `ProptestConfig`
+//!   or globally with the `PROPTEST_CASES` env var).
+
+pub mod strategy;
+
+pub mod test_runner;
+
+pub mod arbitrary;
+
+/// Collection strategies (`prop::collection`).
+pub mod collection;
+
+/// Sampling helpers (`prop::sample`).
+pub mod sample;
+
+pub use strategy::{Just, Strategy};
+
+/// Per-block configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; this shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig {
+            cases,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases, other settings default.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Generate a value of `T` from its full value space.
+pub fn any<T: arbitrary::Arbitrary>() -> arbitrary::Any<T> {
+    arbitrary::Any::new()
+}
+
+/// Everything a proptest-style test module needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of `proptest::prelude::prop` (module-path access to
+    /// `prop::collection` and `prop::sample`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_prop(x in any::<u64>(), v in prop::collection::vec(any::<u8>(), 0..16)) {
+///         prop_assert!(v.len() < 16 || x > 0 || true);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$attr:meta])* fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..cfg.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    let __guard =
+                        $crate::test_runner::CaseGuard::new(stringify!($name), __case);
+                    let ( $($arg,)+ ) = (
+                        $( $crate::strategy::Strategy::generate(&($strat), &mut __rng), )+
+                    );
+                    #[allow(clippy::redundant_closure_call)]
+                    let __result: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(e) = __result {
+                        panic!("property failed: {e}");
+                    }
+                    __guard.disarm();
+                }
+            }
+        )*
+    };
+}
+
+/// Choose between strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// Assert inside a property (this shim panics, like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Toy {
+        A(u64),
+        B(Vec<u8>),
+        C,
+    }
+
+    fn toy() -> impl Strategy<Value = Toy> {
+        prop_oneof![
+            3 => any::<u64>().prop_map(Toy::A),
+            2 => prop::collection::vec(any::<u8>(), 0..8).prop_map(Toy::B),
+            1 => Just(Toy::C),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..10, y in 0u32..=3) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(y <= 3);
+        }
+
+        #[test]
+        fn vec_len_in_bounds(v in prop::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn btree_set_respects_range(s in prop::collection::btree_set(0u32..64, 0..20)) {
+            prop_assert!(s.len() < 20);
+            prop_assert!(s.iter().all(|&v| v < 64));
+        }
+
+        #[test]
+        fn tuples_and_oneof(t in (any::<bool>(), 0u64..64), v in toy()) {
+            prop_assert!(t.1 < 64);
+            match v {
+                Toy::B(b) => prop_assert!(b.len() < 8),
+                Toy::A(_) | Toy::C => {}
+            }
+        }
+
+        #[test]
+        fn index_in_len(ix in any::<prop::sample::Index>()) {
+            prop_assert!(ix.index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let mut a = crate::test_runner::TestRng::for_case("x", 3);
+        let mut b = crate::test_runner::TestRng::for_case("x", 3);
+        let s = crate::collection::vec(crate::any::<u64>(), 0..10);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

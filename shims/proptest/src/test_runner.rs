@@ -1,0 +1,120 @@
+//! Deterministic RNG and failure reporting for the shim's test loop.
+
+/// Deterministic per-case RNG (xoshiro256** seeded from the test name and
+/// case index via FNV-1a + SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// RNG for case `case` of the test identified by `name`.
+    pub fn for_case(name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^= u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut x = h;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform draw from `[0, bound)` for up-to-128-bit bounds.
+    pub fn below_u128(&mut self, bound: u128) -> u128 {
+        let wide = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+        wide % bound
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A property-body failure (mirror of `proptest::test_runner::TestCaseError`).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Fail the current case with `msg`.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError { msg: msg.into() }
+    }
+
+    /// Alias of [`TestCaseError::fail`] kept for API compatibility
+    /// (this shim retries nothing, so rejecting equals failing).
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        Self::fail(msg)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Prints the failing case index if the property body panics.
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arm a guard for one case of `name`.
+    pub fn new(name: &'static str, case: u32) -> CaseGuard {
+        CaseGuard {
+            name,
+            case,
+            armed: true,
+        }
+    }
+
+    /// The case finished cleanly; do not report on drop.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest-shim: property '{}' failed at case index {} \
+                 (deterministic; re-run this test to reproduce)",
+                self.name, self.case
+            );
+        }
+    }
+}

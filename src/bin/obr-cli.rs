@@ -2,12 +2,19 @@
 //!
 //! ```text
 //! obr-cli <dir> [--pages N]
+//! obr-cli check <dir> [--tree] [--locks] [--wal] [--all]
 //! ```
 //!
-//! Commands: `put K V`, `get K`, `del K`, `scan LO HI`, `stats`, `reorg`,
-//! `reorg auto`, `checkpoint`, `truncate-log`, `help`, `quit`. Data is
-//! durable across runs (pages + WAL live under `<dir>`; recovery runs on
-//! startup).
+//! Shell commands: `put K V`, `get K`, `del K`, `scan LO HI`, `stats`,
+//! `reorg`, `reorg auto`, `checkpoint`, `truncate-log`, `help`, `quit`.
+//! Data is durable across runs (pages + WAL live under `<dir>`; recovery
+//! runs on startup).
+//!
+//! `check` runs the static analyzers of [`obr::check`] against the files
+//! under `<dir>` *without opening the database*: the tree fsck over
+//! `pages.db`, the WAL linter over `wal.log`, and the lock-protocol model
+//! checker (which needs no files at all). Exits non-zero when any checker
+//! reports a finding.
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
@@ -16,25 +23,104 @@ use obr::btree::SidePointerMode;
 use obr::core::{recover, Database, ReorgConfig, ReorgTrigger, Reorganizer};
 use obr::txn::{Session, TxnError};
 
+/// `obr-cli check <dir> [--tree] [--locks] [--wal] [--all]`.
+///
+/// Selecting no family is the same as `--all`. Never exits through the
+/// shell path: the process status is the check result.
+fn run_check(args: &[String]) -> ! {
+    let mut dir: Option<std::path::PathBuf> = None;
+    let (mut tree, mut locks, mut wal) = (false, false, false);
+    for a in args {
+        match a.as_str() {
+            "--tree" => tree = true,
+            "--locks" => locks = true,
+            "--wal" => wal = true,
+            "--all" => {
+                tree = true;
+                locks = true;
+                wal = true;
+            }
+            other if !other.starts_with("--") && dir.is_none() => {
+                dir = Some(std::path::PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unknown check argument {other}");
+                eprintln!("usage: obr-cli check <dir> [--tree] [--locks] [--wal] [--all]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !(tree || locks || wal) {
+        tree = true;
+        locks = true;
+        wal = true;
+    }
+    // The lock checker is self-contained; the other two need <dir>.
+    if (tree || wal) && dir.is_none() {
+        eprintln!("usage: obr-cli check <dir> [--tree] [--locks] [--wal] [--all]");
+        std::process::exit(2);
+    }
+
+    let mut report = obr::check::Report::new();
+    if tree {
+        let path = dir.as_ref().unwrap().join("pages.db");
+        println!("== tree fsck: {}", path.display());
+        match obr::check::fsck_file(&path, &obr::check::FsckOptions::default()) {
+            Ok(result) => report.merge(result.report),
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    if wal {
+        let path = dir.as_ref().unwrap().join("wal.log");
+        println!("== wal lint: {}", path.display());
+        match obr::check::lint_wal_file(&path, &obr::check::WalLintOptions::default()) {
+            Ok(r) => report.merge(r),
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    if locks {
+        println!("== lock-protocol model check");
+        report.merge(obr::check::check_lock_protocol());
+    }
+    print!("{report}");
+    if report.is_clean() {
+        println!("OK");
+        std::process::exit(0);
+    }
+    println!(
+        "FAILED: {} findings ({} errors)",
+        report.findings.len(),
+        report.error_count()
+    );
+    std::process::exit(1);
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("check") {
+        run_check(&raw[1..]);
+    }
+    let mut args = raw.into_iter();
     let Some(dir) = args.next() else {
-        eprintln!("usage: obr-cli <dir> [--pages N]");
+        eprintln!("usage: obr-cli <dir> [--pages N]  |  obr-cli check <dir> [--all]");
         std::process::exit(2);
     };
     let mut pages = 16_384u32;
     while let Some(a) = args.next() {
         if a == "--pages" {
-            pages = args
-                .next()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(16_384);
+            pages = args.next().and_then(|s| s.parse().ok()).unwrap_or(16_384);
         }
     }
     let dir = std::path::PathBuf::from(dir);
     let db = if dir.join("pages.db").exists() {
-        let db = Database::open_durable(&dir, 1024, SidePointerMode::TwoWay)
-            .expect("open database");
+        let db =
+            Database::open_durable(&dir, 1024, SidePointerMode::TwoWay).expect("open database");
         let report = recover(&db).expect("recovery");
         println!(
             "recovered: {} records redone, {} units forward-completed",

@@ -14,6 +14,8 @@
 //! * [`txn`] — transactional sessions (the §4.1.2/§4.1.3 protocols) and
 //!   workload generators.
 //! * [`baseline`] — the Tandem-style comparator of §8.
+//! * [`check`] — static analysis: tree fsck, lock-protocol model checker,
+//!   WAL linter (`obr-cli check`).
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -32,6 +34,7 @@
 
 pub use obr_baseline as baseline;
 pub use obr_btree as btree;
+pub use obr_check as check;
 pub use obr_core as core;
 pub use obr_lock as lock;
 pub use obr_storage as storage;

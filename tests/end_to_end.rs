@@ -64,7 +64,10 @@ fn scans_agree_with_point_reads_after_reorg() {
     for (k, v) in &scan {
         assert_eq!(s.read(*k).unwrap().as_deref(), Some(v.as_slice()));
     }
-    assert_eq!(scan.len(), (0..2000).filter(|k| k % 2 == 1 && k * 5 <= 10_000).count());
+    assert_eq!(
+        scan.len(),
+        (0..2000).filter(|k| k % 2 == 1 && k * 5 <= 10_000).count()
+    );
 }
 
 #[test]
@@ -136,7 +139,9 @@ fn crash_between_passes_preserves_everything() {
         shrink_pass: false,
         ..ReorgConfig::default()
     };
-    Reorganizer::new(Arc::clone(&db), cfg).pass1_compact().unwrap();
+    Reorganizer::new(Arc::clone(&db), cfg)
+        .pass1_compact()
+        .unwrap();
     // Crash with NOTHING extra flushed (the log is volatile past the last
     // force); recovery must replay the whole pass from the log.
     db.log().flush_all();
@@ -194,12 +199,8 @@ fn file_disk_round_trip() {
     let path = dir.join("tree.db");
     {
         let disk = Arc::new(FileDisk::open(&path, 2048).unwrap());
-        let db = Database::create(
-            disk as Arc<dyn DiskManager>,
-            2048,
-            SidePointerMode::TwoWay,
-        )
-        .unwrap();
+        let db =
+            Database::create(disk as Arc<dyn DiskManager>, 2048, SidePointerMode::TwoWay).unwrap();
         let s = Session::new(Arc::clone(&db));
         for k in 0..500u64 {
             s.insert(k, &k.to_le_bytes()).unwrap();
@@ -347,7 +348,9 @@ fn pass3_crash_during_catchup_resumes_after_build_finished() {
     );
     assert_eq!(db2.tree().collect_all().unwrap(), expected);
     // Resume goes straight to catch-up + switch.
-    Reorganizer::new(Arc::clone(&db2), cfg).pass3_resume(resume).unwrap();
+    Reorganizer::new(Arc::clone(&db2), cfg)
+        .pass3_resume(resume)
+        .unwrap();
     let after = db2.tree().stats().unwrap();
     db2.tree().validate().unwrap();
     assert_eq!(db2.tree().collect_all().unwrap(), expected);
@@ -383,7 +386,7 @@ fn durable_database_restarts_from_files() {
             .with_fail_point(FailPoint::new(FailSite::AfterFirstMove, 1));
         let _ = reorg.pass1_compact().unwrap_err();
         db.log().flush_all(); // the WAL contract: the log is durable
-        // Drop everything without flushing pages: the "process" dies here.
+                              // Drop everything without flushing pages: the "process" dies here.
     }
     {
         // Process 2: restart purely from the files on disk.
@@ -470,7 +473,11 @@ fn soak_churn_reorganize_crash_cycles() {
         db.tree().validate().unwrap();
         assert_eq!(db.tree().collect_all().unwrap(), expected, "cycle {cycle}");
         let stats = db.tree().stats().unwrap();
-        assert!(stats.avg_leaf_fill > 0.6, "cycle {cycle}: {}", stats.avg_leaf_fill);
+        assert!(
+            stats.avg_leaf_fill > 0.6,
+            "cycle {cycle}: {}",
+            stats.avg_leaf_fill
+        );
         // Log hygiene between cycles.
         db.truncate_log().unwrap();
     }
@@ -545,8 +552,9 @@ fn concurrent_partitioned_writers_with_reorganizer() {
             handles.push(scope.spawn(move || {
                 let session = Session::new(db);
                 let base = w * SPAN;
-                let mut model: BTreeMap<u64, Vec<u8>> =
-                    (base..base + SPAN).map(|k| (k, k.to_be_bytes().to_vec())).collect();
+                let mut model: BTreeMap<u64, Vec<u8>> = (base..base + SPAN)
+                    .map(|k| (k, k.to_be_bytes().to_vec()))
+                    .collect();
                 let mut rng = 0xFACE ^ w;
                 for _ in 0..1_500 {
                     rng ^= rng << 13;
@@ -580,10 +588,7 @@ fn concurrent_partitioned_writers_with_reorganizer() {
         models
     });
     d.tree().validate().unwrap();
-    let mut want: Vec<(u64, Vec<u8>)> = models
-        .into_iter()
-        .flat_map(|m| m.into_iter())
-        .collect();
+    let mut want: Vec<(u64, Vec<u8>)> = models.into_iter().flat_map(|m| m.into_iter()).collect();
     want.sort();
     assert_eq!(d.tree().collect_all().unwrap(), want);
 }
