@@ -328,8 +328,9 @@ impl TandemReorganizer {
     }
 
     fn pool_flush_free(&self, src: PageId, target: PageId) -> CoreResult<()> {
-        self.db.pool().flush_page(target)?;
-        self.db.pool().flush_page(src)?;
+        // Order matters: target (with the records) before src (the freed
+        // image) — flush_pages preserves slice order across shards.
+        self.db.pool().flush_pages(&[target, src])?;
         self.db.pool().discard(src);
         self.db.fsm().free(src);
         Ok(())

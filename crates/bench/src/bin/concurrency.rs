@@ -1,0 +1,323 @@
+//! Multi-threaded throughput benchmark: sharded buffer pool + group-commit
+//! WAL against the seed's single-mutex pool + lock-held-across-fsync WAL.
+//!
+//! ```text
+//! concurrency [--smoke] [--out PATH]
+//! ```
+//!
+//! For each engine config and each thread count, a fresh *durable* database
+//! (file-backed pages + WAL, so commits pay a real fsync) is bulk-loaded
+//! sparse, the reorganization daemon is started, and then N writer threads
+//! (durable commits on disjoint key ranges) race N reader threads (point
+//! reads + occasional scans over the preloaded keys) for a fixed window.
+//! After each run the live pool is checked with `obr-check`. Results go to
+//! `BENCH_concurrency.json` (or `--out`) as hand-rolled JSON plus a table on
+//! stdout.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use obr_btree::SidePointerMode;
+use obr_core::{Database, EngineConfig, ReorgConfig, ReorgDaemon, ReorgTrigger};
+use obr_txn::{Session, TxnError};
+
+/// Each writer owns `[WRITER_BASE + w * WRITER_STRIDE, ..)` — disjoint from
+/// every other writer and from the preloaded `[0, n)` read range, so the
+/// contention measured is the engine's, not the workload's.
+const WRITER_BASE: u64 = 1 << 32;
+const WRITER_STRIDE: u64 = 1 << 24;
+
+struct RunResult {
+    config: &'static str,
+    threads: usize,
+    commits: u64,
+    reads: u64,
+    restarts: u64,
+    elapsed: Duration,
+    fsyncs: u64,
+    wal_batches: u64,
+    flush_calls: u64,
+    pool_shards: usize,
+    reorg_runs: usize,
+    check_clean: bool,
+}
+
+impl RunResult {
+    fn ops(&self) -> u64 {
+        self.commits + self.reads
+    }
+    fn ops_per_sec(&self) -> f64 {
+        self.ops() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_one(
+    config_name: &'static str,
+    cfg: EngineConfig,
+    threads: usize,
+    preload: u64,
+    pages: u32,
+    frames: usize,
+    window: Duration,
+    dir: &std::path::Path,
+) -> RunResult {
+    let _ = std::fs::remove_dir_all(dir);
+    let db = Database::create_durable_with_config(dir, pages, frames, SidePointerMode::TwoWay, cfg)
+        .expect("create durable database");
+    let records: Vec<(u64, Vec<u8>)> = (0..preload).map(|k| (k, vec![0xB7; 64])).collect();
+    // Sparse load so the daemon has real reorganization work during the run.
+    db.tree().bulk_load(&records, 0.45, 0.9).expect("bulk load");
+
+    let sync_before = db.log().sync_stats();
+    let daemon = ReorgDaemon::spawn(
+        Arc::clone(&db),
+        ReorgConfig::default(),
+        ReorgTrigger::default(),
+        Duration::from_millis(25),
+    );
+
+    let stop = AtomicBool::new(false);
+    let commits = AtomicU64::new(0);
+    let reads = AtomicU64::new(0);
+    let restarts = AtomicU64::new(0);
+    let barrier = Barrier::new(2 * threads + 1);
+    let started = std::thread::scope(|s| {
+        for w in 0..threads {
+            let db = Arc::clone(&db);
+            let (stop, commits, restarts, barrier) = (&stop, &commits, &restarts, &barrier);
+            s.spawn(move || {
+                let session = Session::new(db);
+                let value = vec![0x5Au8; 64];
+                let mut key = WRITER_BASE + w as u64 * WRITER_STRIDE;
+                barrier.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    let mut txn = session.begin();
+                    match txn.insert(key, &value) {
+                        Ok(()) => {
+                            if txn.commit().is_ok() {
+                                commits.fetch_add(1, Ordering::Relaxed);
+                            }
+                            key += 1;
+                        }
+                        Err(TxnError::Deadlock) | Err(TxnError::Timeout) => {
+                            let _ = txn.abort();
+                            restarts.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("writer failed on key {key}: {e}"),
+                    }
+                }
+            });
+        }
+        for r in 0..threads {
+            let db = Arc::clone(&db);
+            let (stop, reads, restarts, barrier) = (&stop, &reads, &restarts, &barrier);
+            s.spawn(move || {
+                let session = Session::new(db);
+                let mut rng = 0x9E3779B9u64 ^ ((r as u64 + 1) << 16);
+                barrier.wait();
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = xorshift(&mut rng) % preload;
+                    let outcome = if i.is_multiple_of(64) {
+                        session.scan(key, key + 50).map(|_| ())
+                    } else {
+                        session.read(key).map(|_| ())
+                    };
+                    match outcome {
+                        Ok(()) => {
+                            reads.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(TxnError::Deadlock) | Err(TxnError::Timeout) => {
+                            restarts.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("reader failed on key {key}: {e}"),
+                    }
+                    i += 1;
+                }
+            });
+        }
+        barrier.wait();
+        let started = Instant::now();
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+        started
+    });
+    let elapsed = started.elapsed();
+    let reorg_runs = daemon.stop().expect("reorg daemon").len();
+    let sync_after = db.log().sync_stats();
+
+    let report = obr_check::check_database(&db);
+    let check_clean = report.is_clean();
+    if !check_clean {
+        eprintln!("check findings for {config_name}/{threads}t:\n{report}");
+    }
+    let result = RunResult {
+        config: config_name,
+        threads,
+        commits: commits.load(Ordering::Relaxed),
+        reads: reads.load(Ordering::Relaxed),
+        restarts: restarts.load(Ordering::Relaxed),
+        elapsed,
+        fsyncs: sync_after.syncs - sync_before.syncs,
+        wal_batches: sync_after.batches - sync_before.batches,
+        flush_calls: sync_after.flush_calls - sync_before.flush_calls,
+        pool_shards: db.pool().shard_count(),
+        reorg_runs,
+        check_clean,
+    };
+    drop(db);
+    let _ = std::fs::remove_dir_all(dir);
+    result
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // All strings we emit are static identifiers; assert rather than escape.
+    assert!(s
+        .chars()
+        .all(|c| c.is_ascii_graphic() && c != '"' && c != '\\'));
+    s
+}
+
+fn emit_json(results: &[RunResult], smoke: bool, out: &std::path::Path) {
+    let mut body = String::from("{\n");
+    body.push_str("  \"bench\": \"concurrency\",\n");
+    body.push_str(&format!("  \"smoke\": {smoke},\n"));
+    body.push_str(&format!(
+        "  \"hw_threads\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    body.push_str("  \"runs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"config\": \"{}\", \"threads\": {}, \"commits\": {}, \"reads\": {}, \
+             \"restarts\": {}, \"elapsed_ms\": {:.1}, \"ops_per_sec\": {:.1}, \"fsyncs\": {}, \
+             \"wal_batches\": {}, \"flush_calls\": {}, \"pool_shards\": {}, \"reorg_runs\": {}, \
+             \"check_clean\": {}}}{}\n",
+            json_escape_free(r.config),
+            r.threads,
+            r.commits,
+            r.reads,
+            r.restarts,
+            r.elapsed.as_secs_f64() * 1e3,
+            r.ops_per_sec(),
+            r.fsyncs,
+            r.wal_batches,
+            r.flush_calls,
+            r.pool_shards,
+            r.reorg_runs,
+            r.check_clean,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("  ],\n");
+    body.push_str("  \"speedup_by_threads\": {");
+    let mut first = true;
+    for r in results.iter().filter(|r| r.config == "sharded") {
+        if let Some(base) = results
+            .iter()
+            .find(|b| b.config == "baseline" && b.threads == r.threads)
+        {
+            if !first {
+                body.push_str(", ");
+            }
+            first = false;
+            body.push_str(&format!(
+                "\"{}\": {:.3}",
+                r.threads,
+                r.ops_per_sec() / base.ops_per_sec().max(1e-9)
+            ));
+        }
+    }
+    body.push_str("},\n");
+    let all_clean = results.iter().all(|r| r.check_clean);
+    body.push_str(&format!("  \"all_checks_clean\": {all_clean}\n"));
+    body.push_str("}\n");
+    std::fs::write(out, &body).expect("write BENCH_concurrency.json");
+    println!("wrote {}", out.display());
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = PathBuf::from("BENCH_concurrency.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
+            "--help" | "-h" => {
+                eprintln!("usage: concurrency [--smoke] [--out PATH]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (thread_counts, preload, pages, frames, window): (&[usize], u64, u32, usize, Duration) =
+        if smoke {
+            (&[1, 4], 800, 8_192, 512, Duration::from_millis(150))
+        } else {
+            (
+                &[1, 2, 4, 8],
+                4_000,
+                32_768,
+                1_024,
+                Duration::from_millis(700),
+            )
+        };
+
+    let tmp = std::env::temp_dir().join(format!("obr-bench-conc-{}", std::process::id()));
+    let mut results = Vec::new();
+    for &threads in thread_counts {
+        for (name, cfg) in [
+            ("baseline", EngineConfig::single_mutex_baseline()),
+            ("sharded", EngineConfig::default()),
+        ] {
+            let r = run_one(
+                name,
+                cfg,
+                threads,
+                preload,
+                pages,
+                frames,
+                window,
+                &tmp.join(format!("{name}-{threads}")),
+            );
+            println!(
+                "{:>8} {:>2} threads: {:>8.0} ops/s ({} commits, {} reads, {} restarts) | \
+                 {} flushes -> {} batches, {} fsyncs | {} shards, {} reorg runs, check {}",
+                r.config,
+                r.threads,
+                r.ops_per_sec(),
+                r.commits,
+                r.reads,
+                r.restarts,
+                r.flush_calls,
+                r.wal_batches,
+                r.fsyncs,
+                r.pool_shards,
+                r.reorg_runs,
+                if r.check_clean { "clean" } else { "DIRTY" },
+            );
+            results.push(r);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+    emit_json(&results, smoke, &out);
+    if results.iter().any(|r| !r.check_clean) {
+        eprintln!("FAILED: post-run check reported findings");
+        std::process::exit(1);
+    }
+}

@@ -81,6 +81,11 @@ impl PageSource for FileSource {
 }
 
 /// A live buffer pool as a page source (sees dirty, unflushed pages).
+///
+/// Reads are non-perturbing: a resident page is copied out of its shard via
+/// [`BufferPool::peek`] (no pin, no clock touch, no fault-in), and an absent
+/// page is read straight from disk so checking never evicts hot frames or
+/// fails on a full pool.
 pub struct PoolSource<'a> {
     pool: &'a BufferPool,
 }
@@ -94,9 +99,10 @@ impl<'a> PoolSource<'a> {
 
 impl PageSource for PoolSource<'_> {
     fn page(&self, id: PageId) -> Option<Page> {
-        let guard = self.pool.fetch(id).ok()?;
-        let page = guard.read();
-        Some(page.clone())
+        if let Some(page) = self.pool.peek(id) {
+            return Some(page);
+        }
+        self.pool.disk().read_page(id).ok()
     }
 }
 

@@ -17,6 +17,48 @@ use crate::sidefile::SideFile;
 /// Sentinel for "no pass-3 read position" (reorganization idle).
 pub const CK_IDLE: u64 = u64::MAX;
 
+/// Knobs for the engine's concurrency substrates. [`Default`] is the tuned
+/// configuration; the degraded settings exist so benchmarks can measure
+/// what each optimization buys (`EngineConfig::single_mutex_baseline`).
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Buffer-pool shard count; `None` sizes it to the machine.
+    pub pool_shards: Option<usize>,
+    /// Batch concurrent WAL committers into shared fsyncs (on by default).
+    pub group_commit: bool,
+    /// Pages reserved at the front of the disk for meta/internal pages.
+    pub internal_region_pages: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            pool_shards: None,
+            group_commit: true,
+            internal_region_pages: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The pre-sharding, pre-group-commit engine: one frame-table mutex, one
+    /// log lock held across fsync. Exists for A/B benchmarking only.
+    pub fn single_mutex_baseline() -> Self {
+        EngineConfig {
+            pool_shards: Some(1),
+            group_commit: false,
+            internal_region_pages: 0,
+        }
+    }
+
+    fn build_pool(&self, disk: &Arc<dyn DiskManager>, frames: usize) -> Arc<BufferPool> {
+        Arc::new(match self.pool_shards {
+            Some(n) => BufferPool::with_shards(Arc::clone(disk), frames, n),
+            None => BufferPool::new(Arc::clone(disk), frames),
+        })
+    }
+}
+
 /// The database.
 pub struct Database {
     disk: Arc<dyn DiskManager>,
@@ -58,10 +100,30 @@ impl Database {
         side: SidePointerMode,
         internal_region_pages: u32,
     ) -> CoreResult<Arc<Database>> {
-        let pool = Arc::new(BufferPool::new(Arc::clone(&disk), pool_frames));
+        Self::create_with_config(
+            disk,
+            pool_frames,
+            side,
+            EngineConfig {
+                internal_region_pages,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    /// Like [`Self::create`], with explicit [`EngineConfig`] knobs (pool
+    /// sharding, WAL group commit, region split).
+    pub fn create_with_config(
+        disk: Arc<dyn DiskManager>,
+        pool_frames: usize,
+        side: SidePointerMode,
+        cfg: EngineConfig,
+    ) -> CoreResult<Arc<Database>> {
+        let pool = cfg.build_pool(&disk, pool_frames);
         let fsm = Arc::new(FreeSpaceMap::new_all_free(disk.num_pages()));
-        fsm.set_leaf_boundary(PageId(internal_region_pages));
+        fsm.set_leaf_boundary(PageId(cfg.internal_region_pages));
         let log = Arc::new(LogManager::new());
+        log.set_group_commit(cfg.group_commit);
         pool.set_wal(Arc::clone(&log) as Arc<dyn WalFlush>);
         let tree = Arc::new(BTree::create(
             Arc::clone(&pool),
@@ -94,14 +156,25 @@ impl Database {
         pool_frames: usize,
         side: SidePointerMode,
     ) -> CoreResult<Arc<Database>> {
+        Self::create_durable_with_config(dir, pages, pool_frames, side, EngineConfig::default())
+    }
+
+    /// Like [`Self::create_durable`], with explicit [`EngineConfig`] knobs.
+    pub fn create_durable_with_config(
+        dir: &std::path::Path,
+        pages: u32,
+        pool_frames: usize,
+        side: SidePointerMode,
+        cfg: EngineConfig,
+    ) -> CoreResult<Arc<Database>> {
         std::fs::create_dir_all(dir).map_err(obr_storage::StorageError::Io)?;
-        let disk = Arc::new(obr_storage::FileDisk::open(&dir.join("pages.db"), pages)?);
+        let disk: Arc<dyn DiskManager> =
+            Arc::new(obr_storage::FileDisk::open(&dir.join("pages.db"), pages)?);
         let log = Arc::new(LogManager::open_file(&dir.join("wal.log"))?);
-        let pool = Arc::new(BufferPool::new(
-            Arc::clone(&disk) as Arc<dyn DiskManager>,
-            pool_frames,
-        ));
+        log.set_group_commit(cfg.group_commit);
+        let pool = cfg.build_pool(&disk, pool_frames);
         let fsm = Arc::new(FreeSpaceMap::new_all_free(disk.num_pages()));
+        fsm.set_leaf_boundary(PageId(cfg.internal_region_pages));
         pool.set_wal(Arc::clone(&log) as Arc<dyn WalFlush>);
         let tree = Arc::new(BTree::create(
             Arc::clone(&pool),
@@ -146,8 +219,21 @@ impl Database {
         pool_frames: usize,
         side: SidePointerMode,
     ) -> CoreResult<Arc<Database>> {
-        let pool = Arc::new(BufferPool::new(Arc::clone(&disk), pool_frames));
+        Self::reopen_with_config(disk, log, pool_frames, side, EngineConfig::default())
+    }
+
+    /// Like [`Self::reopen`], with explicit [`EngineConfig`] knobs (used by
+    /// recovery drivers that restart a tuned or baseline engine as-was).
+    pub fn reopen_with_config(
+        disk: Arc<dyn DiskManager>,
+        log: Arc<LogManager>,
+        pool_frames: usize,
+        side: SidePointerMode,
+        cfg: EngineConfig,
+    ) -> CoreResult<Arc<Database>> {
+        let pool = cfg.build_pool(&disk, pool_frames);
         let fsm = Arc::new(FreeSpaceMap::new_all_allocated(disk.num_pages()));
+        log.set_group_commit(cfg.group_commit);
         pool.set_wal(Arc::clone(&log) as Arc<dyn WalFlush>);
         let tree = Arc::new(BTree::open(
             Arc::clone(&pool),

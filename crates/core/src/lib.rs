@@ -25,7 +25,7 @@ pub mod sidefile;
 pub mod stats;
 
 pub use daemon::ReorgDaemon;
-pub use db::Database;
+pub use db::{Database, EngineConfig};
 pub use error::{CoreError, CoreResult};
 pub use pass3::{NewTreeEditor, Pass3Observer, STABLE_ALL_READ};
 pub use recovery::{recover, RecoveryReport};

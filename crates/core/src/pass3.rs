@@ -534,9 +534,7 @@ impl Reorganizer {
 
     fn pass3_stable_point(&self, db: &Arc<Database>, builder: &mut UpperBuilder) -> CoreResult<()> {
         let touched = builder.take_touched();
-        for p in &touched {
-            db.pool().flush_page(*p)?;
-        }
+        db.pool().flush_pages(&touched)?;
         db.disk().sync()?;
         let state = Pass3State {
             stable_key: db.get_current(),
@@ -555,9 +553,7 @@ impl Reorganizer {
         // Make the whole new upper level durable before catch-up (§7.3).
         let pages = builder.pages_allocated();
         let built = builder.finish()?;
-        for p in pages {
-            db.pool().flush_page(p)?;
-        }
+        db.pool().flush_pages(&pages)?;
         db.disk().sync()?;
         db.log().append_force(&LogRecord::Pass3Stable {
             state: Pass3State {

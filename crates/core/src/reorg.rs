@@ -861,21 +861,24 @@ impl Reorganizer {
             if matches!(e, CoreError::InjectedCrash(_)) {
                 return Err(e); // the "crash" leaves everything in place
             }
-            self.undo_unit(unit, &journal)?;
+            self.undo_moves(unit, &journal)?;
+            self.close_undone_unit(unit);
             return Err(e);
         }
         self.check_fail(FailSite::BeforeModify)?;
         // --- Upgrade the base lock to X for the short MODIFY (§4.1.1). ---
         if let Err(e) = locks.lock(owner, ResourceId::Page(base.0), LockMode::X) {
-            // §5.2: deadlock after records moved — undo the unit and
-            // restore the side-pointer chain through the group.
-            self.undo_unit(unit, &journal)?;
+            // §5.2: deadlock after records moved — undo the moves and
+            // restore the side-pointer chain through the group, all before
+            // END so every SIDEPTR stays inside the unit's chain.
+            self.undo_moves(unit, &journal)?;
             let mut prev = left_n;
             for &(_, leaf) in group {
                 self.stitch(unit, prev, leaf)?;
                 prev = leaf;
             }
             self.stitch(unit, prev, right_n)?;
+            self.close_undone_unit(unit);
             return Err(e.into());
         }
         {
@@ -1094,9 +1097,10 @@ impl Reorganizer {
         Ok(())
     }
 
-    /// §5.2: undo a unit whose records were already moved, via compensating
-    /// MOVE records, then clear its table entry without advancing LK.
-    fn undo_unit(&self, unit: UnitId, journal: &[MoveJournal]) -> CoreResult<()> {
+    /// §5.2: undo a unit's moves via compensating MOVE records. The unit
+    /// stays open so callers can log chain repairs (SIDEPTR) inside it;
+    /// follow with [`Self::close_undone_unit`].
+    fn undo_moves(&self, unit: UnitId, journal: &[MoveJournal]) -> CoreResult<()> {
         let db = &self.db;
         let tree = db.tree();
         let _g = tree.smo_guard();
@@ -1130,15 +1134,18 @@ impl Reorganizer {
             opage.set_lsn(lsn);
             dpage.set_lsn(lsn);
         }
-        // The unit completed with net-zero effect; largest_key 0 cannot
-        // regress LK (finish keeps the max).
-        db.log().append(&LogRecord::ReorgEnd {
+        Ok(())
+    }
+
+    /// END an undone unit: it completed with net-zero effect; largest_key 0
+    /// cannot regress LK (finish keeps the max).
+    fn close_undone_unit(&self, unit: UnitId) {
+        self.db.log().append(&LogRecord::ReorgEnd {
             unit,
             largest_key: 0,
         });
-        db.reorg_table().abandon_unit();
+        self.db.reorg_table().abandon_unit();
         self.stats.lock().units_undone += 1;
-        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1351,9 +1358,11 @@ impl Reorganizer {
         }
         // MODIFY: repoint the parent entry from src to target.
         if let Err(e) = locks.lock(owner, ResourceId::Page(base.0), LockMode::X) {
-            // §5.2: deadlock after the records moved — undo the unit.
-            self.undo_unit(unit, &journal)?;
+            // §5.2: deadlock after the records moved — undo the moves and
+            // repair the chain before END so the SIDEPTRs stay in-unit.
+            self.undo_moves(unit, &journal)?;
             self.fix_chain_after_compact(unit, &[], src, left_n, right_n)?;
+            self.close_undone_unit(unit);
             return Err(e.into());
         }
         {

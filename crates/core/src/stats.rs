@@ -6,7 +6,7 @@ use std::fmt;
 use obr_btree::TreeStats;
 use obr_lock::LockStats;
 use obr_storage::DiskStats;
-use obr_wal::LogStats;
+use obr_wal::{LogStats, SyncStats};
 
 use crate::db::Database;
 use crate::error::CoreResult;
@@ -26,6 +26,10 @@ pub struct DatabaseStats {
     pub pool_resident: usize,
     /// Buffer pool capacity.
     pub pool_capacity: usize,
+    /// Buffer pool shard count (frame-table concurrency).
+    pub pool_shards: usize,
+    /// WAL durability counters (fsync batching from group commit).
+    pub wal_sync: SyncStats,
     /// Free pages available.
     pub free_pages: usize,
     /// Queued side-file entries (non-zero only during pass 3).
@@ -65,13 +69,18 @@ impl fmt::Display for DatabaseStats {
         )?;
         writeln!(
             f,
-            "space:  {} free pages | pool {}/{} frames",
-            self.free_pages, self.pool_resident, self.pool_capacity
+            "space:  {} free pages | pool {}/{} frames in {} shards",
+            self.free_pages, self.pool_resident, self.pool_capacity, self.pool_shards
         )?;
         writeln!(
             f,
-            "log:    {} records, {} bytes ({} reorg bytes)",
-            self.log.records, self.log.bytes, self.log.reorg_bytes
+            "log:    {} records, {} bytes ({} reorg bytes) | {} flushes -> {} batches, {} fsyncs",
+            self.log.records,
+            self.log.bytes,
+            self.log.reorg_bytes,
+            self.wal_sync.flush_calls,
+            self.wal_sync.batches,
+            self.wal_sync.syncs
         )?;
         writeln!(
             f,
@@ -104,6 +113,8 @@ impl Database {
             disk: self.disk().stats(),
             pool_resident: self.pool().resident(),
             pool_capacity: self.pool().capacity(),
+            pool_shards: self.pool().shard_count(),
+            wal_sync: self.log().sync_stats(),
             free_pages: self.fsm().free_count(),
             side_file_len: self.side_file().len(),
             reorg_bit: self.tree().reorg_bit()?,

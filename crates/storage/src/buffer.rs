@@ -1,4 +1,4 @@
-//! Buffer pool with WAL coupling and *careful writing* \[LT95\].
+//! Sharded buffer pool with WAL coupling and *careful writing* \[LT95\].
 //!
 //! Two ordering rules make the paper's logging economies safe (§5):
 //!
@@ -15,13 +15,28 @@
 //! page would have to reach disk before the other), which is exactly why a
 //! swap must log at least one full page image.
 //!
+//! # Sharding
+//!
+//! The frame table is split into a power-of-two number of *shards*, each
+//! owning its slice of the frame map and of the write-dependency table.
+//! A page id selects its shard by low bits, so consecutive pages land on
+//! different shards and pins/lookups on different pages almost never
+//! contend. The pool-wide frame budget is a single atomic counter:
+//! admission reserves a slot before reading the page, eviction releases it,
+//! and no operation ever takes more than one shard lock at a time (the
+//! global-LRU victim scan visits shards sequentially). [`BufferPool::flush_all`]
+//! sweeps shard by shard, snapshotting each shard's residents atomically
+//! under that shard's lock in sorted page order — every page resident when
+//! its shard is visited is flushed, with no gap between snapshot and sweep
+//! for pages to slip through unrecorded.
+//!
 //! [`BufferPool::simulate_crash`] models a power failure: a caller-chosen
 //! subset of dirty pages (closed under prerequisites, flushed prerequisite
 //! first) reaches disk, all volatile state is dropped, the disk and the log
 //! survive.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -36,12 +51,26 @@ pub trait WalFlush: Send + Sync {
     fn flush_to(&self, lsn: Lsn);
 }
 
+/// Upper bound on the shard count (beyond ~64 the shard array itself stops
+/// paying for its footprint).
+pub const MAX_POOL_SHARDS: usize = 64;
+
 struct Frame {
     id: PageId,
     data: RwLock<Page>,
     pin: AtomicU32,
     dirty: AtomicBool,
     last_used: AtomicU64,
+}
+
+/// One shard: a slice of the frame table plus the write-order dependencies
+/// whose *dependent* page hashes here. Lock ordering: a thread holds at most
+/// one shard's `frames` lock at a time, and never a `frames` lock while
+/// taking another shard's `deps` lock.
+struct Shard {
+    frames: Mutex<HashMap<PageId, Arc<Frame>>>,
+    /// dependent -> prerequisite pages that must be durable first.
+    deps: Mutex<HashMap<PageId, HashSet<PageId>>>,
 }
 
 /// A pinned page. Dropping the guard unpins the frame. `write()` marks the
@@ -86,32 +115,75 @@ impl Drop for FrameGuard {
 pub struct BufferPool {
     disk: Arc<dyn DiskManager>,
     capacity: usize,
-    frames: Mutex<HashMap<PageId, Arc<Frame>>>,
-    /// dependent -> prerequisite pages that must be durable first.
-    write_deps: Mutex<HashMap<PageId, HashSet<PageId>>>,
-    wal: Mutex<Option<Arc<dyn WalFlush>>>,
+    shards: Box<[Shard]>,
+    shard_mask: usize,
+    /// Frames currently resident across all shards; admission reserves a
+    /// slot here *before* inserting, so the budget is never exceeded.
+    resident: AtomicUsize,
+    wal: RwLock<Option<Arc<dyn WalFlush>>>,
     clock: AtomicU64,
     flushes: AtomicU64,
 }
 
+/// Default shard count: the machine's parallelism rounded up to a power of
+/// two, clamped to `[8, MAX_POOL_SHARDS]` — empty shards cost a few dozen
+/// bytes, so even small machines get enough shards that unrelated pages
+/// rarely share a lock.
+fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .next_power_of_two()
+        .clamp(8, MAX_POOL_SHARDS)
+}
+
 impl BufferPool {
-    /// Create a pool of `capacity` frames over `disk`.
+    /// Create a pool of `capacity` frames over `disk`, sharded for the
+    /// machine's parallelism.
     pub fn new(disk: Arc<dyn DiskManager>, capacity: usize) -> BufferPool {
+        let shards = default_shards();
+        Self::with_shards(disk, capacity, shards)
+    }
+
+    /// Create a pool with an explicit shard count (rounded up to a power of
+    /// two, clamped to [`MAX_POOL_SHARDS`]). `with_shards(disk, cap, 1)` is
+    /// the single-mutex layout, kept reachable as a benchmark baseline.
+    pub fn with_shards(disk: Arc<dyn DiskManager>, capacity: usize, shards: usize) -> BufferPool {
         assert!(capacity > 0, "buffer pool needs at least one frame");
+        assert!(shards > 0, "buffer pool needs at least one shard");
+        let n = shards.next_power_of_two().min(MAX_POOL_SHARDS);
+        let shards: Box<[Shard]> = (0..n)
+            .map(|_| Shard {
+                frames: Mutex::new(HashMap::new()),
+                deps: Mutex::new(HashMap::new()),
+            })
+            .collect();
         BufferPool {
             disk,
             capacity,
-            frames: Mutex::new(HashMap::new()),
-            write_deps: Mutex::new(HashMap::new()),
-            wal: Mutex::new(None),
+            shard_mask: n - 1,
+            shards,
+            resident: AtomicUsize::new(0),
+            wal: RwLock::new(None),
             clock: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
         }
     }
 
+    /// Shard owning `id`. Low bits: consecutive page ids round-robin across
+    /// shards, which spreads both sequential scans and hot neighbours.
+    fn shard(&self, id: PageId) -> &Shard {
+        &self.shards[id.0 as usize & self.shard_mask]
+    }
+
+    /// Number of shards the frame table is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Install the WAL flush hook (set once the log manager exists).
     pub fn set_wal(&self, wal: Arc<dyn WalFlush>) {
-        *self.wal.lock() = Some(wal);
+        *self.wal.write() = Some(wal);
     }
 
     /// The underlying disk.
@@ -121,7 +193,7 @@ impl BufferPool {
 
     /// Number of frames currently resident.
     pub fn resident(&self) -> usize {
-        self.frames.lock().len()
+        self.resident.load(Ordering::Acquire)
     }
 
     /// Configured capacity in frames.
@@ -153,9 +225,10 @@ impl BufferPool {
     }
 
     fn fetch_inner(&self, id: PageId, read_from_disk: bool) -> StorageResult<FrameGuard> {
+        let shard = self.shard(id);
         loop {
             {
-                let frames = self.frames.lock();
+                let frames = shard.frames.lock();
                 if let Some(frame) = frames.get(&id) {
                     frame.pin.fetch_add(1, Ordering::AcqRel);
                     self.touch(frame);
@@ -163,22 +236,37 @@ impl BufferPool {
                         frame: Arc::clone(frame),
                     });
                 }
-                if frames.len() < self.capacity {
-                    break;
-                }
             }
-            // Pool at capacity: evict outside the read path, then retry.
+            // Miss: reserve a slot in the global budget before doing I/O so
+            // concurrent admissions can never overshoot the capacity.
+            if self
+                .resident
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                    (n < self.capacity).then_some(n + 1)
+                })
+                .is_ok()
+            {
+                break;
+            }
+            // Pool at capacity: evict outside the shard lock, then retry.
             self.evict_one()?;
         }
-        // Miss path: read (or zero-init) outside the map lock, then insert.
+        // Slot reserved: read (or zero-init) outside any shard lock.
         let page = if read_from_disk {
-            self.disk.read_page(id)?
+            match self.disk.read_page(id) {
+                Ok(p) => p,
+                Err(e) => {
+                    self.resident.fetch_sub(1, Ordering::AcqRel);
+                    return Err(e);
+                }
+            }
         } else {
             Page::new()
         };
-        let mut frames = self.frames.lock();
-        // Another thread may have inserted meanwhile.
+        let mut frames = shard.frames.lock();
+        // Another thread may have inserted meanwhile: give the slot back.
         if let Some(frame) = frames.get(&id) {
+            self.resident.fetch_sub(1, Ordering::AcqRel);
             frame.pin.fetch_add(1, Ordering::AcqRel);
             self.touch(frame);
             return Ok(FrameGuard {
@@ -197,25 +285,36 @@ impl BufferPool {
         Ok(FrameGuard { frame })
     }
 
+    /// Pick the globally least-recently-used unpinned frame and retire it.
+    /// Shard locks are taken one at a time: the scan is advisory (a frame may
+    /// be pinned between selection and removal), so removal re-checks under
+    /// the victim's shard lock.
     fn evict_one(&self) -> StorageResult<()> {
-        let victim = {
-            let frames = self.frames.lock();
-            if frames.len() < self.capacity {
-                return Ok(());
+        if self.resident.load(Ordering::Acquire) < self.capacity {
+            return Ok(());
+        }
+        let mut victim: Option<(u64, PageId)> = None;
+        for shard in self.shards.iter() {
+            let frames = shard.frames.lock();
+            for f in frames.values() {
+                if f.pin.load(Ordering::Acquire) == 0 {
+                    let lu = f.last_used.load(Ordering::Relaxed);
+                    if victim.is_none_or(|(best, _)| lu < best) {
+                        victim = Some((lu, f.id));
+                    }
+                }
             }
-            frames
-                .values()
-                .filter(|f| f.pin.load(Ordering::Acquire) == 0)
-                .min_by_key(|f| f.last_used.load(Ordering::Relaxed))
-                .map(|f| f.id)
-                .ok_or(StorageError::PoolExhausted)?
+        }
+        let Some((_, victim)) = victim else {
+            return Err(StorageError::PoolExhausted);
         };
         self.flush_page(victim)?;
-        let mut frames = self.frames.lock();
+        let mut frames = self.shard(victim).frames.lock();
         if let Some(f) = frames.get(&victim) {
             // Only drop it if still unpinned and clean.
             if f.pin.load(Ordering::Acquire) == 0 && !f.dirty.load(Ordering::Acquire) {
                 frames.remove(&victim);
+                self.resident.fetch_sub(1, Ordering::AcqRel);
             }
         }
         Ok(())
@@ -227,7 +326,8 @@ impl BufferPool {
         if dependent == prerequisite {
             return;
         }
-        self.write_deps
+        self.shard(dependent)
+            .deps
             .lock()
             .entry(dependent)
             .or_default()
@@ -236,7 +336,10 @@ impl BufferPool {
 
     /// Number of outstanding write-order dependencies (diagnostics).
     pub fn pending_dependencies(&self) -> usize {
-        self.write_deps.lock().values().map(|s| s.len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.deps.lock().values().map(HashSet::len).sum::<usize>())
+            .sum()
     }
 
     /// Flush `id` (and, first, its transitive prerequisites). A no-op for
@@ -247,6 +350,16 @@ impl BufferPool {
         self.flush_rec(id, &mut visiting)
     }
 
+    /// Flush a batch of pages (each with its prerequisites). Duplicates and
+    /// already-clean pages are cheap no-ops; unlike [`Self::flush_all`] the
+    /// disk is *not* fsynced — callers sequence their own sync barrier.
+    pub fn flush_pages(&self, ids: &[PageId]) -> StorageResult<()> {
+        for &id in ids {
+            self.flush_page(id)?;
+        }
+        Ok(())
+    }
+
     fn flush_rec(&self, id: PageId, visiting: &mut HashSet<PageId>) -> StorageResult<()> {
         if !visiting.insert(id) {
             return Err(StorageError::Corrupt(format!(
@@ -254,7 +367,8 @@ impl BufferPool {
             )));
         }
         let prereqs: Vec<PageId> = self
-            .write_deps
+            .shard(id)
+            .deps
             .lock()
             .get(&id)
             .map(|s| s.iter().copied().collect())
@@ -263,14 +377,14 @@ impl BufferPool {
             self.flush_rec(p, visiting)?;
         }
         self.write_frame(id)?;
-        self.write_deps.lock().remove(&id);
+        self.shard(id).deps.lock().remove(&id);
         visiting.remove(&id);
         Ok(())
     }
 
     fn write_frame(&self, id: PageId) -> StorageResult<()> {
         let frame = {
-            let frames = self.frames.lock();
+            let frames = self.shard(id).frames.lock();
             match frames.get(&id) {
                 Some(f) => Arc::clone(f),
                 None => return Ok(()),
@@ -280,7 +394,7 @@ impl BufferPool {
             return Ok(());
         }
         let page = frame.data.read();
-        if let Some(wal) = self.wal.lock().clone() {
+        if let Some(wal) = self.wal.read().clone() {
             wal.flush_to(page.lsn());
         }
         self.disk.write_page(id, &page)?;
@@ -289,11 +403,22 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Flush every dirty page, honouring dependencies.
+    /// Flush every dirty page, honouring dependencies, then fsync the disk.
+    ///
+    /// The sweep is *atomic per shard and deterministic*: each shard's
+    /// resident set is snapshotted in one critical section under that
+    /// shard's lock and flushed in ascending page order, shard 0 first.
+    /// Every page resident when its shard is visited is flushed — the old
+    /// single global snapshot let pages inserted mid-flush slip through
+    /// silently. Pages inserted into an *already-swept* shard during the
+    /// sweep were dirtied after this call began; WAL redo covers them.
     pub fn flush_all(&self) -> StorageResult<()> {
-        let ids: Vec<PageId> = self.frames.lock().keys().copied().collect();
-        for id in ids {
-            self.flush_page(id)?;
+        for shard in self.shards.iter() {
+            let mut ids: Vec<PageId> = shard.frames.lock().keys().copied().collect();
+            ids.sort_unstable();
+            for id in ids {
+                self.flush_page(id)?;
+            }
         }
         self.disk.sync()?;
         Ok(())
@@ -301,11 +426,35 @@ impl BufferPool {
 
     /// True when the page is resident and dirty.
     pub fn is_dirty(&self, id: PageId) -> bool {
-        self.frames
+        self.shard(id)
+            .frames
             .lock()
             .get(&id)
             .map(|f| f.dirty.load(Ordering::Acquire))
             .unwrap_or(false)
+    }
+
+    /// A copy of the resident page `id` without pinning, faulting, or
+    /// touching the LRU state — `None` when not resident. This is how
+    /// observers (fsck over a live pool) read through the pool without
+    /// perturbing it.
+    pub fn peek(&self, id: PageId) -> Option<Page> {
+        let frame = {
+            let frames = self.shard(id).frames.lock();
+            frames.get(&id).map(Arc::clone)
+        };
+        frame.map(|f| f.data.read().clone())
+    }
+
+    /// Page ids of every resident frame, in ascending order. Iterates the
+    /// shards one lock at a time (the set is a snapshot, not a fence).
+    pub fn resident_ids(&self) -> Vec<PageId> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            out.extend(shard.frames.lock().keys().copied());
+        }
+        out.sort_unstable();
+        out
     }
 
     /// Simulate a crash: flush the dirty pages selected by `keep` — closed
@@ -320,26 +469,27 @@ impl BufferPool {
         &self,
         mut keep: impl FnMut(PageId) -> bool,
     ) -> StorageResult<Vec<PageId>> {
-        let dirty: Vec<PageId> = {
-            let frames = self.frames.lock();
-            frames
-                .values()
-                .filter(|f| f.dirty.load(Ordering::Acquire))
-                .map(|f| f.id)
-                .collect()
-        };
+        let mut dirty: Vec<PageId> = Vec::new();
+        for shard in self.shards.iter() {
+            let frames = shard.frames.lock();
+            dirty.extend(
+                frames
+                    .values()
+                    .filter(|f| f.dirty.load(Ordering::Acquire))
+                    .map(|f| f.id),
+            );
+        }
+        dirty.sort_unstable();
         let mut chosen: HashSet<PageId> = dirty.iter().copied().filter(|&id| keep(id)).collect();
         // Close under prerequisites.
         loop {
             let mut added = Vec::new();
-            {
-                let deps = self.write_deps.lock();
-                for &id in &chosen {
-                    if let Some(pres) = deps.get(&id) {
-                        for &p in pres {
-                            if !chosen.contains(&p) {
-                                added.push(p);
-                            }
+            for &id in &chosen {
+                let deps = self.shard(id).deps.lock();
+                if let Some(pres) = deps.get(&id) {
+                    for &p in pres {
+                        if !chosen.contains(&p) {
+                            added.push(p);
                         }
                     }
                 }
@@ -356,8 +506,11 @@ impl BufferPool {
             self.flush_page(id)?;
             flushed.push(id);
         }
-        self.frames.lock().clear();
-        self.write_deps.lock().clear();
+        for shard in self.shards.iter() {
+            shard.frames.lock().clear();
+            shard.deps.lock().clear();
+        }
+        self.resident.store(0, Ordering::Release);
         flushed.sort();
         Ok(flushed)
     }
@@ -366,16 +519,26 @@ impl BufferPool {
     /// cold (used by experiments to measure real scan I/O).
     pub fn evict_all(&self) -> StorageResult<()> {
         self.flush_all()?;
-        let mut frames = self.frames.lock();
-        frames.retain(|_, f| f.pin.load(Ordering::Acquire) > 0);
+        for shard in self.shards.iter() {
+            let mut frames = shard.frames.lock();
+            let before = frames.len();
+            frames.retain(|_, f| f.pin.load(Ordering::Acquire) > 0);
+            let removed = before - frames.len();
+            if removed > 0 {
+                self.resident.fetch_sub(removed, Ordering::AcqRel);
+            }
+        }
         Ok(())
     }
 
     /// Drop a page from the pool without writing it (used after
     /// deallocation: the image is dead).
     pub fn discard(&self, id: PageId) {
-        self.frames.lock().remove(&id);
-        self.write_deps.lock().remove(&id);
+        let shard = self.shard(id);
+        if shard.frames.lock().remove(&id).is_some() {
+            self.resident.fetch_sub(1, Ordering::AcqRel);
+        }
+        shard.deps.lock().remove(&id);
     }
 }
 
@@ -450,6 +613,55 @@ mod tests {
             Err(StorageError::PoolExhausted) => {}
             other => panic!("expected PoolExhausted, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let disk = Arc::new(InMemoryDisk::new(8));
+        let pool = BufferPool::with_shards(Arc::clone(&disk) as Arc<dyn DiskManager>, 8, 3);
+        assert_eq!(pool.shard_count(), 4);
+        let pool = BufferPool::with_shards(Arc::clone(&disk) as Arc<dyn DiskManager>, 8, 1);
+        assert_eq!(pool.shard_count(), 1);
+        let pool = BufferPool::with_shards(disk as Arc<dyn DiskManager>, 8, 1 << 20);
+        assert_eq!(pool.shard_count(), MAX_POOL_SHARDS);
+    }
+
+    #[test]
+    fn capacity_holds_across_shards() {
+        // Capacity is a pool-wide budget, not per shard: 16 distinct pages
+        // through a 4-frame pool must never leave more than 4 resident.
+        let (_disk, pool) = pool(32, 4);
+        for i in 0..16u32 {
+            let g = pool.fetch(PageId(i)).unwrap();
+            drop(g);
+            assert!(pool.resident() <= 4, "resident {} > 4", pool.resident());
+        }
+    }
+
+    #[test]
+    fn peek_sees_resident_dirty_copy_without_faulting() {
+        let (disk, pool) = pool(8, 8);
+        assert!(pool.peek(PageId(3)).is_none());
+        {
+            let g = pool.fetch(PageId(3)).unwrap();
+            g.write().set_low_mark(77);
+        }
+        let reads = disk.stats().reads;
+        let p = pool.peek(PageId(3)).unwrap();
+        assert_eq!(p.low_mark(), 77);
+        assert_eq!(disk.stats().reads, reads, "peek must not touch the disk");
+        // Still dirty: peek is an observer, not a flush.
+        assert!(pool.is_dirty(PageId(3)));
+    }
+
+    #[test]
+    fn resident_ids_iterates_all_shards_sorted() {
+        let (_disk, pool) = pool(64, 64);
+        for i in [9u32, 1, 30, 4, 17] {
+            let _ = pool.fetch(PageId(i)).unwrap();
+        }
+        let ids: Vec<u32> = pool.resident_ids().iter().map(|p| p.0).collect();
+        assert_eq!(ids, vec![1, 4, 9, 17, 30]);
     }
 
     #[test]
@@ -553,6 +765,77 @@ mod tests {
     }
 
     #[test]
+    fn flush_all_sweeps_every_shard() {
+        // Dirty a page in (what is almost certainly) every shard; one
+        // flush_all must clean all of them — the per-shard snapshot cannot
+        // skip a shard or a page.
+        let (disk, pool) = pool(256, 256);
+        for i in 0..128u32 {
+            let g = pool.fetch(PageId(i)).unwrap();
+            g.write().set_low_mark(u64::from(i) + 1);
+        }
+        pool.flush_all().unwrap();
+        for i in 0..128u32 {
+            assert!(!pool.is_dirty(PageId(i)), "page {i} still dirty");
+            assert_eq!(
+                disk.read_page(PageId(i)).unwrap().low_mark(),
+                u64::from(i) + 1
+            );
+        }
+    }
+
+    #[test]
+    fn flush_all_catches_pages_inserted_while_earlier_shards_flush() {
+        // Regression for the flush_all TOCTOU: with the old single global
+        // snapshot, a page inserted after the snapshot was silently skipped
+        // even though it was resident long before flush_all returned. The
+        // per-shard sweep snapshots each shard when it is visited, so a page
+        // inserted into a *later* shard while earlier shards flush is still
+        // caught. Simulate the interleaving deterministically through the
+        // WAL hook, which runs mid-sweep for every dirty page.
+        struct InsertOnFlush {
+            pool: std::sync::Weak<BufferPool>,
+            fired: AtomicBool,
+        }
+        impl WalFlush for InsertOnFlush {
+            fn flush_to(&self, _lsn: Lsn) {
+                if self.fired.swap(true, Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(pool) = self.pool.upgrade() {
+                    // Highest page id: lands in the last-visited slot of its
+                    // shard's sorted order — after the sweep position.
+                    let g = pool.fetch(PageId(255)).unwrap();
+                    g.write().set_low_mark(4242);
+                }
+            }
+        }
+        let disk = Arc::new(InMemoryDisk::new(256));
+        // Explicit shard count: page 0 -> shard 0, page 255 -> shard 15,
+        // regardless of the machine the test runs on.
+        let pool = Arc::new(BufferPool::with_shards(
+            Arc::clone(&disk) as Arc<dyn DiskManager>,
+            256,
+            16,
+        ));
+        let hook = Arc::new(InsertOnFlush {
+            pool: Arc::downgrade(&pool),
+            fired: AtomicBool::new(false),
+        });
+        pool.set_wal(Arc::clone(&hook) as Arc<dyn WalFlush>);
+        {
+            // Page 0 lives in shard 0 and triggers the hook during the sweep.
+            let g = pool.fetch(PageId(0)).unwrap();
+            g.write().set_low_mark(1);
+        }
+        pool.flush_all().unwrap();
+        // Page 255's shard is visited after page 0's flush fired the hook,
+        // so the mid-flush insert must have been flushed too.
+        assert!(!pool.is_dirty(PageId(255)), "mid-flush insert was skipped");
+        assert_eq!(disk.read_page(PageId(255)).unwrap().low_mark(), 4242);
+    }
+
+    #[test]
     fn concurrent_fetch_same_page_is_safe() {
         let (_disk, pool) = pool(16, 16);
         let pool = Arc::new(pool);
@@ -572,5 +855,30 @@ mod tests {
             }
         });
         assert!(pool.resident() <= 16);
+    }
+
+    #[test]
+    fn concurrent_misses_respect_capacity() {
+        // 8 threads fetching disjoint pages through a tiny pool: the
+        // reservation counter must keep residency at/below capacity at every
+        // instant, and nothing deadlocks.
+        let (_disk, pool) = pool(512, 8);
+        let pool = Arc::new(pool);
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    for i in 0..100u32 {
+                        let id = PageId(t * 64 + (i % 64));
+                        let g = pool.fetch(id).unwrap();
+                        g.write().set_low_mark(u64::from(i));
+                        drop(g);
+                        assert!(pool.resident() <= 8);
+                    }
+                });
+            }
+        });
+        assert!(pool.resident() <= 8);
+        pool.flush_all().unwrap();
     }
 }

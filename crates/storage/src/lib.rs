@@ -16,7 +16,7 @@ pub mod error;
 pub mod fsm;
 pub mod page;
 
-pub use buffer::{BufferPool, FrameGuard, WalFlush};
+pub use buffer::{BufferPool, FrameGuard, WalFlush, MAX_POOL_SHARDS};
 pub use disk::{DiskManager, DiskStats, FileDisk, InMemoryDisk};
 pub use error::{StorageError, StorageResult};
 pub use fsm::FreeSpaceMap;

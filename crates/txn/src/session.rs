@@ -325,10 +325,13 @@ impl Txn {
     }
 
     /// Commit: force the commit record, then release all locks.
+    ///
+    /// The append is a short in-memory critical section; the durability wait
+    /// rides the WAL group committer, so concurrent committers share one
+    /// write+fsync instead of serializing on the log file.
     pub fn commit(mut self) -> TxnResult<()> {
-        self.db
-            .log()
-            .append_force(&LogRecord::TxnCommit { txn: self.id });
+        let commit_lsn = self.db.log().append(&LogRecord::TxnCommit { txn: self.id });
+        self.db.log().flush_to(commit_lsn);
         self.db.end_txn(self.id);
         self.db.locks().release_all(self.owner);
         self.finished = true;

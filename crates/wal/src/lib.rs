@@ -18,7 +18,7 @@ pub mod log;
 pub mod record;
 pub mod reorg_table;
 
-pub use log::{LogManager, LogStats};
+pub use log::{LogManager, LogStats, SyncStats};
 pub use record::{
     CheckpointData, LogRecord, MovePayload, Pass3State, ReorgKind, ReorgTableSnapshot, TxnId,
     UnitId,

@@ -1,11 +1,33 @@
 //! The log manager: an append-only sequence of encoded records with a
-//! durability watermark.
+//! durability watermark, made durable by **group commit**.
 //!
 //! Records live in memory as encoded frames; [`LogManager::flush_to`] moves
 //! the durability watermark forward (the buffer pool calls it through the
 //! [`obr_storage::WalFlush`] hook before writing any dirty page), and
 //! [`LogManager::simulate_crash`] discards every record past the watermark —
 //! the volatile tail a power failure would lose.
+//!
+//! # Group commit
+//!
+//! Appending and forcing are split across different locks so neither ever
+//! waits on the other's I/O:
+//!
+//! * **append** takes the short `mem` critical section (assign an LSN, push
+//!   the encoded frame, bump counters) and returns — it never blocks on a
+//!   concurrent fsync.
+//! * **flush_to** registers its target LSN and elects one caller the
+//!   *flusher* (a flag guarded by the `dur` mutex). The flusher writes and
+//!   fsyncs one batch covering *every* target registered so far, publishes
+//!   the new watermark, and wakes the waiters parked on the condvar. A
+//!   waiter whose LSN the batch covered returns without touching the file:
+//!   K concurrent committers cost at most K — and typically ~2 — fsyncs.
+//!
+//! No lock is ever held across `write`+`fsync` except the `io` mutex, which
+//! only the elected flusher (or an exclusive maintenance operation such as
+//! [`LogManager::compact_file`]) touches. The pre-group-commit behaviour —
+//! one mutex held across the entire append/flush path *including the fsync*
+//! — is kept behind [`LogManager::set_group_commit`]`(false)` as the A/B
+//! baseline for the concurrency benchmark.
 //!
 //! Per-kind byte accounting feeds experiment E6 (reorganization log volume
 //! under the three logging strategies).
@@ -14,8 +36,9 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use obr_storage::{Lsn, StorageResult, WalFlush};
 
@@ -54,20 +77,60 @@ impl LogStats {
     }
 }
 
-struct LogInner {
+/// Durability-path counters: how much batching group commit achieved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncStats {
+    /// `flush_to`/`flush_all` calls that found work to do.
+    pub flush_calls: u64,
+    /// Physical `fsync`s issued (file-backed logs only).
+    pub syncs: u64,
+    /// Watermark advances (batches), including memory-only logs.
+    pub batches: u64,
+    /// Times a committer parked behind an in-flight flush instead of
+    /// issuing its own.
+    pub group_waits: u64,
+}
+
+impl SyncStats {
+    /// Counter deltas relative to an earlier snapshot.
+    pub fn since(&self, earlier: &SyncStats) -> SyncStats {
+        SyncStats {
+            flush_calls: self.flush_calls - earlier.flush_calls,
+            syncs: self.syncs - earlier.syncs,
+            batches: self.batches - earlier.batches,
+            group_waits: self.group_waits - earlier.group_waits,
+        }
+    }
+}
+
+/// The in-memory log: what `append` touches. Its critical sections are a
+/// few vector pushes — never I/O.
+struct LogMem {
     /// Encoded frames; frame `i` has LSN `first_lsn + i`.
     frames: Vec<Vec<u8>>,
     /// LSN of `frames[0]` (moves up when the log is truncated).
     first_lsn: Lsn,
     /// Next LSN to assign.
     next_lsn: Lsn,
-    /// Highest durable LSN.
-    durable_lsn: Lsn,
     stats: LogStats,
-    /// Backing file, when the log is durable. Frames up to `durable_lsn`
-    /// have been appended and fsynced; `file_next` is the next LSN whose
-    /// frame still needs writing.
+}
+
+/// Flusher election state. `flushing` is the baton: exactly one thread at a
+/// time runs the write+fsync path; `requested` accumulates the highest LSN
+/// any committer has asked to be made durable.
+struct DurControl {
+    flushing: bool,
+    requested: Lsn,
+}
+
+/// The backing file. Only the elected flusher (or an exclusive maintenance
+/// path holding the flusher baton) locks this, so the lock is uncontended —
+/// it exists to keep `File` mutation safe, not to serialize committers.
+struct IoState {
+    /// Backing file, when the log is durable. Frames below `file_next`
+    /// have been appended and fsynced.
     file: Option<File>,
+    /// Next LSN whose frame still needs writing.
     file_next: Lsn,
 }
 
@@ -85,7 +148,17 @@ struct LogInner {
 /// assert_eq!(log.read(l1).unwrap(), Some(LogRecord::TxnBegin { txn: TxnId(1) }));
 /// ```
 pub struct LogManager {
-    inner: Mutex<LogInner>,
+    mem: Mutex<LogMem>,
+    dur: Mutex<DurControl>,
+    dur_cv: Condvar,
+    io: Mutex<IoState>,
+    /// Highest durable LSN — readable without any lock.
+    durable: AtomicU64,
+    group_commit: AtomicBool,
+    flush_calls: AtomicU64,
+    syncs: AtomicU64,
+    batches: AtomicU64,
+    group_waits: AtomicU64,
 }
 
 impl Default for LogManager {
@@ -95,19 +168,37 @@ impl Default for LogManager {
 }
 
 impl LogManager {
+    fn assemble(mem: LogMem, file: Option<File>, durable: Lsn) -> LogManager {
+        let file_next = Lsn(durable.0 + 1);
+        LogManager {
+            mem: Mutex::new(mem),
+            dur: Mutex::new(DurControl {
+                flushing: false,
+                requested: durable,
+            }),
+            dur_cv: Condvar::new(),
+            io: Mutex::new(IoState { file, file_next }),
+            durable: AtomicU64::new(durable.0),
+            group_commit: AtomicBool::new(true),
+            flush_calls: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            group_waits: AtomicU64::new(0),
+        }
+    }
+
     /// Create an empty log. LSNs start at 1; [`Lsn::ZERO`] means "none".
     pub fn new() -> LogManager {
-        LogManager {
-            inner: Mutex::new(LogInner {
+        Self::assemble(
+            LogMem {
                 frames: Vec::new(),
                 first_lsn: Lsn(1),
                 next_lsn: Lsn(1),
-                durable_lsn: Lsn::ZERO,
                 stats: LogStats::default(),
-                file: None,
-                file_next: Lsn(1),
-            }),
-        }
+            },
+            None,
+            Lsn::ZERO,
+        )
     }
 
     /// Open a durable log backed by `path`. Existing frames are read back
@@ -154,23 +245,35 @@ impl LogManager {
         file.set_len(good_end)?;
         file.seek(SeekFrom::End(0))?;
         let n = frames.len() as u64;
-        Ok(LogManager {
-            inner: Mutex::new(LogInner {
+        Ok(Self::assemble(
+            LogMem {
                 frames,
                 first_lsn: Lsn(1),
                 next_lsn: Lsn(n + 1),
-                durable_lsn: Lsn(n),
                 stats,
-                file: Some(file),
-                file_next: Lsn(n + 1),
-            }),
-        })
+            },
+            Some(file),
+            Lsn(n),
+        ))
     }
 
-    /// Append a record; returns its LSN. Not yet durable.
+    /// Enable or disable group commit. Disabled, [`Self::flush_to`] reverts
+    /// to the historical single-lock path — the append mutex held across
+    /// the whole write+fsync — kept only as a benchmark baseline.
+    pub fn set_group_commit(&self, enabled: bool) {
+        self.group_commit.store(enabled, Ordering::Release);
+    }
+
+    /// Whether group commit is enabled (the default).
+    pub fn group_commit_enabled(&self) -> bool {
+        self.group_commit.load(Ordering::Acquire)
+    }
+
+    /// Append a record; returns its LSN. Not yet durable. The critical
+    /// section is memory-only: appends never wait behind an fsync.
     pub fn append(&self, rec: &LogRecord) -> Lsn {
         let bytes = rec.encode();
-        let mut g = self.inner.lock();
+        let mut g = self.mem.lock();
         let lsn = g.next_lsn;
         g.next_lsn = lsn.next();
         g.stats.records += 1;
@@ -193,59 +296,143 @@ impl LogManager {
         lsn
     }
 
-    /// Make the log durable through `lsn`.
+    /// Make the log durable through `lsn`. Concurrent callers are batched:
+    /// one of them writes and fsyncs a single run covering every pending
+    /// target, the rest park until `durable_lsn >= lsn`.
     pub fn flush_to(&self, lsn: Lsn) {
-        let mut g = self.inner.lock();
-        let cap = Lsn(g.next_lsn.0 - 1);
+        let cap = {
+            let g = self.mem.lock();
+            Lsn(g.next_lsn.0 - 1)
+        };
         let target = lsn.min(cap);
-        if target > g.durable_lsn {
-            Self::write_file_frames(&mut g, target);
-            g.durable_lsn = target;
+        if target == Lsn::ZERO || self.durable.load(Ordering::Acquire) >= target.0 {
+            return;
         }
+        self.flush_calls.fetch_add(1, Ordering::Relaxed);
+        if !self.group_commit.load(Ordering::Acquire) {
+            self.legacy_flush(target);
+            return;
+        }
+        let mut d = self.dur.lock();
+        if d.requested < target {
+            d.requested = target;
+        }
+        loop {
+            if self.durable.load(Ordering::Acquire) >= target.0 {
+                // A batch in flight when we arrived already covered us.
+                return;
+            }
+            if !d.flushing {
+                break;
+            }
+            self.group_waits.fetch_add(1, Ordering::Relaxed);
+            self.dur_cv.wait(&mut d);
+        }
+        // Elected flusher: take the baton, write one batch covering every
+        // target registered so far, with no lock held across the I/O that
+        // an append or another committer's registration would need.
+        d.flushing = true;
+        let batch = d.requested;
+        drop(d);
+        let batch = self.write_batch(batch);
+        self.durable.fetch_max(batch.0, Ordering::AcqRel);
+        let mut d = self.dur.lock();
+        d.flushing = false;
+        self.dur_cv.notify_all();
+    }
+
+    /// Write and fsync frames `(file_next..=batch]`, returning the LSN the
+    /// log is now durable through. Caller must hold the flusher baton.
+    /// Locks are taken one at a time: `io` to learn the file position, `mem`
+    /// (briefly) to copy out the frames, `io` again for the write+fsync —
+    /// the append path stays runnable throughout.
+    fn write_batch(&self, batch: Lsn) -> Lsn {
+        let (has_file, file_next) = {
+            let io = self.io.lock();
+            (io.file.is_some(), io.file_next)
+        };
+        let (buf, batch) = {
+            let m = self.mem.lock();
+            // Re-clamp: a concurrent crash simulation may have shrunk the
+            // log since the target was registered.
+            let batch = batch.min(Lsn(m.next_lsn.0 - 1));
+            let mut buf = Vec::new();
+            if has_file && batch >= file_next {
+                let lo = (file_next.0 - m.first_lsn.0) as usize;
+                let hi = (batch.0 + 1 - m.first_lsn.0) as usize;
+                for frame in &m.frames[lo..hi] {
+                    buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(frame);
+                }
+            }
+            (buf, batch)
+        };
+        if !buf.is_empty() {
+            let mut io = self.io.lock();
+            let file = io.file.as_mut().expect("file checked above");
+            // A write failure panics: continuing without a durable log
+            // would break the WAL contract silently.
+            file.write_all(&buf).expect("WAL append failed");
+            file.sync_data().expect("WAL fsync failed");
+            io.file_next = Lsn(batch.0 + 1);
+            self.syncs.fetch_add(1, Ordering::Relaxed);
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        batch
+    }
+
+    /// The pre-group-commit durability path: the append mutex is held
+    /// across the entire write+fsync, stalling every concurrent append and
+    /// committer. Reachable only via [`Self::set_group_commit`]`(false)`;
+    /// exists so the concurrency benchmark can measure what group commit
+    /// buys against the original behaviour.
+    fn legacy_flush(&self, target: Lsn) {
+        let m = self.mem.lock();
+        let target = target.min(Lsn(m.next_lsn.0 - 1));
+        if self.durable.load(Ordering::Acquire) >= target.0 {
+            return;
+        }
+        let mut io = self.io.lock();
+        if io.file.is_some() && target >= io.file_next {
+            let lo = (io.file_next.0 - m.first_lsn.0) as usize;
+            let hi = (target.0 + 1 - m.first_lsn.0) as usize;
+            let mut buf = Vec::new();
+            for frame in &m.frames[lo..hi] {
+                buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+                buf.extend_from_slice(frame);
+            }
+            let file = io.file.as_mut().expect("checked above");
+            file.write_all(&buf).expect("WAL append failed");
+            file.sync_data().expect("WAL fsync failed");
+            io.file_next = Lsn(target.0 + 1);
+            self.syncs.fetch_add(1, Ordering::Relaxed);
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.durable.fetch_max(target.0, Ordering::AcqRel);
     }
 
     /// Make the whole log durable.
     pub fn flush_all(&self) {
-        let mut g = self.inner.lock();
-        let target = Lsn(g.next_lsn.0 - 1);
-        Self::write_file_frames(&mut g, target);
-        g.durable_lsn = target;
-    }
-
-    /// Append frames `(file_next..=target]` to the backing file and fsync.
-    /// A write failure panics: continuing without a durable log would break
-    /// the WAL contract silently.
-    fn write_file_frames(g: &mut LogInner, target: Lsn) {
-        if g.file.is_none() || target < g.file_next {
-            return;
-        }
-        let first = g.first_lsn;
-        let lo = (g.file_next.0 - first.0) as usize;
-        let hi = (target.0 + 1 - first.0) as usize;
-        let mut out = Vec::new();
-        for frame in &g.frames[lo..hi] {
-            out.extend_from_slice(&(frame.len() as u32).to_le_bytes());
-            out.extend_from_slice(frame);
-        }
-        let file = g.file.as_mut().expect("checked above");
-        file.write_all(&out).expect("WAL append failed");
-        file.sync_data().expect("WAL fsync failed");
-        g.file_next = Lsn(target.0 + 1);
+        let target = {
+            let g = self.mem.lock();
+            Lsn(g.next_lsn.0 - 1)
+        };
+        self.flush_to(target);
     }
 
     /// Highest durable LSN.
     pub fn durable_lsn(&self) -> Lsn {
-        self.inner.lock().durable_lsn
+        Lsn(self.durable.load(Ordering::Acquire))
     }
 
     /// LSN that the next append will receive.
     pub fn next_lsn(&self) -> Lsn {
-        self.inner.lock().next_lsn
+        self.mem.lock().next_lsn
     }
 
     /// Read the record at `lsn`, if it exists (and survives truncation).
     pub fn read(&self, lsn: Lsn) -> StorageResult<Option<LogRecord>> {
-        let g = self.inner.lock();
+        let g = self.mem.lock();
         if lsn < g.first_lsn || lsn >= g.next_lsn || lsn == Lsn::ZERO {
             return Ok(None);
         }
@@ -256,7 +443,7 @@ impl LogManager {
     /// Decode all records with LSN in `[from, next_lsn)`, paired with their
     /// LSNs. Used by the recovery redo scan.
     pub fn records_from(&self, from: Lsn) -> StorageResult<Vec<(Lsn, LogRecord)>> {
-        let g = self.inner.lock();
+        let g = self.mem.lock();
         let start = from.max(g.first_lsn);
         let mut out = Vec::new();
         if start >= g.next_lsn {
@@ -274,10 +461,11 @@ impl LogManager {
     /// LSN of the most recent checkpoint record at or below the durable
     /// watermark, if any.
     pub fn last_checkpoint(&self) -> StorageResult<Option<(Lsn, LogRecord)>> {
-        let g = self.inner.lock();
+        let durable = self.durable_lsn();
+        let g = self.mem.lock();
         for (i, frame) in g.frames.iter().enumerate().rev() {
             let lsn = Lsn(g.first_lsn.0 + i as u64);
-            if lsn > g.durable_lsn {
+            if lsn > durable {
                 continue;
             }
             // Cheap tag peek before full decode.
@@ -294,7 +482,7 @@ impl LogManager {
     /// [`Self::compact_file`] to rewrite the backing file without the
     /// discarded prefix.
     pub fn truncate_before(&self, lsn: Lsn) {
-        let mut g = self.inner.lock();
+        let mut g = self.mem.lock();
         if lsn <= g.first_lsn {
             return;
         }
@@ -308,6 +496,22 @@ impl LogManager {
         }
     }
 
+    /// Wait for any in-flight group-commit batch to finish, then hold the
+    /// flusher baton for an exclusive maintenance operation.
+    fn acquire_flusher(&self) {
+        let mut d = self.dur.lock();
+        while d.flushing {
+            self.dur_cv.wait(&mut d);
+        }
+        d.flushing = true;
+    }
+
+    fn release_flusher(&self) {
+        let mut d = self.dur.lock();
+        d.flushing = false;
+        self.dur_cv.notify_all();
+    }
+
     /// Rewrite the backing file to contain only the retained frames
     /// (everything from the current `first_lsn` up to the durable
     /// watermark). No-op for memory-only logs.
@@ -317,45 +521,75 @@ impl LogManager {
     /// truncation point; in this system the sharp checkpoint written by
     /// `Database::truncate_log` makes the dropped prefix unnecessary.
     pub fn compact_file(&self) -> StorageResult<()> {
-        let mut g = self.inner.lock();
-        if g.file.is_none() {
-            return Ok(());
-        }
-        let durable_count = (g.durable_lsn.0 + 1).saturating_sub(g.first_lsn.0) as usize;
-        let mut out = Vec::new();
-        for frame in g.frames.iter().take(durable_count) {
-            out.extend_from_slice(&(frame.len() as u32).to_le_bytes());
-            out.extend_from_slice(frame);
-        }
-        let file = g.file.as_mut().expect("checked above");
-        file.set_len(0)?;
-        file.seek(SeekFrom::Start(0))?;
-        file.write_all(&out)?;
-        file.sync_data()?;
-        g.file_next = Lsn(g.durable_lsn.0 + 1);
-        Ok(())
+        // Exclusive with any in-flight flush: take the baton, then the
+        // locks in the fixed mem -> io order.
+        self.acquire_flusher();
+        let result = (|| {
+            let g = self.mem.lock();
+            let mut io = self.io.lock();
+            if io.file.is_none() {
+                return Ok(());
+            }
+            let durable = self.durable_lsn();
+            let durable_count = (durable.0 + 1).saturating_sub(g.first_lsn.0) as usize;
+            let mut out = Vec::new();
+            for frame in g.frames.iter().take(durable_count) {
+                out.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+                out.extend_from_slice(frame);
+            }
+            let file = io.file.as_mut().expect("checked above");
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&out)?;
+            file.sync_data()?;
+            io.file_next = Lsn(durable.0 + 1);
+            Ok(())
+        })();
+        self.release_flusher();
+        result
     }
 
     /// Simulate a crash: the volatile tail past the durability watermark is
     /// lost. Returns how many records were discarded.
     pub fn simulate_crash(&self) -> usize {
-        let mut g = self.inner.lock();
-        let durable = g.durable_lsn.max(Lsn(g.first_lsn.0 - 1));
-        let keep = (durable.0 + 1 - g.first_lsn.0) as usize;
-        let dropped = g.frames.len().saturating_sub(keep);
-        g.frames.truncate(keep);
-        g.next_lsn = Lsn(durable.0 + 1);
+        // Exclusive with any in-flight flush so the batch/requested state
+        // cannot straddle the truncation.
+        self.acquire_flusher();
+        let dropped = {
+            let mut g = self.mem.lock();
+            let durable = self.durable_lsn().max(Lsn(g.first_lsn.0 - 1));
+            let keep = (durable.0 + 1 - g.first_lsn.0) as usize;
+            let dropped = g.frames.len().saturating_sub(keep);
+            g.frames.truncate(keep);
+            g.next_lsn = Lsn(durable.0 + 1);
+            dropped
+        };
+        {
+            let mut d = self.dur.lock();
+            d.requested = self.durable_lsn();
+        }
+        self.release_flusher();
         dropped
     }
 
     /// Accounting snapshot.
     pub fn stats(&self) -> LogStats {
-        self.inner.lock().stats.clone()
+        self.mem.lock().stats.clone()
+    }
+
+    /// Durability-path counters (fsync batching).
+    pub fn sync_stats(&self) -> SyncStats {
+        SyncStats {
+            flush_calls: self.flush_calls.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            group_waits: self.group_waits.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of records currently retained (post-truncation).
     pub fn len(&self) -> usize {
-        self.inner.lock().frames.len()
+        self.mem.lock().frames.len()
     }
 
     /// True when no records are retained.
@@ -427,6 +661,19 @@ mod tests {
         assert_eq!(log.durable_lsn(), l1);
         log.flush_to(Lsn::ZERO);
         assert_eq!(log.durable_lsn(), l1);
+    }
+
+    #[test]
+    fn flush_to_does_not_overshoot_its_target() {
+        // Group commit batches *requested* targets — it must not silently
+        // drag unrequested tail records across the durability line.
+        let log = LogManager::new();
+        log.append(&begin(1));
+        let l2 = log.append(&begin(2));
+        log.append(&begin(3)); // appended, never requested durable
+        log.flush_to(l2);
+        assert_eq!(log.durable_lsn(), l2);
+        assert_eq!(log.simulate_crash(), 1);
     }
 
     #[test]
@@ -507,6 +754,18 @@ mod tests {
     }
 
     #[test]
+    fn sync_stats_count_batches_and_elided_flushes() {
+        let log = LogManager::new();
+        let l1 = log.append(&begin(1));
+        log.flush_to(l1);
+        log.flush_to(l1); // already durable: no new batch
+        let s = log.sync_stats();
+        assert_eq!(s.flush_calls, 1);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.syncs, 0, "memory-only log never fsyncs");
+    }
+
+    #[test]
     fn file_backed_log_survives_reopen() {
         let dir = std::env::temp_dir().join(format!("obr-wal-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -568,6 +827,28 @@ mod tests {
         let compacted = std::fs::metadata(&path).unwrap().len();
         assert!(compacted < full);
         assert_eq!(log.read(Lsn(8)).unwrap(), Some(begin(8)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_mode_still_reaches_durability() {
+        let dir = std::env::temp_dir().join(format!("obr-wal-legacy-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        {
+            let log = LogManager::open_file(&path).unwrap();
+            log.set_group_commit(false);
+            assert!(!log.group_commit_enabled());
+            let l1 = log.append(&begin(1));
+            let l2 = log.append(&begin(2));
+            log.flush_to(l1);
+            assert_eq!(log.durable_lsn(), l1);
+            log.flush_to(l2);
+            assert_eq!(log.durable_lsn(), l2);
+            assert_eq!(log.sync_stats().syncs, 2, "legacy mode never batches");
+        }
+        let log = LogManager::open_file(&path).unwrap();
+        assert_eq!(log.len(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! obr-cli <dir> [--pages N]
-//! obr-cli check <dir> [--tree] [--locks] [--wal] [--all]
+//! obr-cli check <dir> [--tree] [--locks] [--wal] [--all] [--live]
 //! ```
 //!
 //! Shell commands: `put K V`, `get K`, `del K`, `scan LO HI`, `stats`,
@@ -23,18 +23,24 @@ use obr::btree::SidePointerMode;
 use obr::core::{recover, Database, ReorgConfig, ReorgTrigger, Reorganizer};
 use obr::txn::{Session, TxnError};
 
-/// `obr-cli check <dir> [--tree] [--locks] [--wal] [--all]`.
+/// `obr-cli check <dir> [--tree] [--locks] [--wal] [--all] [--live]`.
 ///
-/// Selecting no family is the same as `--all`. Never exits through the
-/// shell path: the process status is the check result.
+/// Selecting no family is the same as `--all`. With `--live` the database is
+/// opened and recovered first, and the tree fsck walks the live sharded
+/// buffer pool (via the non-perturbing [`obr::check::PoolSource`]) instead
+/// of the raw page file — this is what a post-stress-run health check uses.
+/// Never exits through the shell path: the process status is the check
+/// result.
 fn run_check(args: &[String]) -> ! {
+    const USAGE: &str = "usage: obr-cli check <dir> [--tree] [--locks] [--wal] [--all] [--live]";
     let mut dir: Option<std::path::PathBuf> = None;
-    let (mut tree, mut locks, mut wal) = (false, false, false);
+    let (mut tree, mut locks, mut wal, mut live) = (false, false, false, false);
     for a in args {
         match a.as_str() {
             "--tree" => tree = true,
             "--locks" => locks = true,
             "--wal" => wal = true,
+            "--live" => live = true,
             "--all" => {
                 tree = true;
                 locks = true;
@@ -45,7 +51,7 @@ fn run_check(args: &[String]) -> ! {
             }
             other => {
                 eprintln!("unknown check argument {other}");
-                eprintln!("usage: obr-cli check <dir> [--tree] [--locks] [--wal] [--all]");
+                eprintln!("{USAGE}");
                 std::process::exit(2);
             }
         }
@@ -56,9 +62,43 @@ fn run_check(args: &[String]) -> ! {
         wal = true;
     }
     // The lock checker is self-contained; the other two need <dir>.
-    if (tree || wal) && dir.is_none() {
-        eprintln!("usage: obr-cli check <dir> [--tree] [--locks] [--wal] [--all]");
+    if (tree || wal || live) && dir.is_none() {
+        eprintln!("{USAGE}");
         std::process::exit(2);
+    }
+
+    if live {
+        let dir = dir.as_ref().unwrap();
+        println!("== live check: {}", dir.display());
+        let db = match Database::open_durable(dir, 1024, SidePointerMode::TwoWay) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("cannot open {}: {e}", dir.display());
+                std::process::exit(2);
+            }
+        };
+        if let Err(e) = recover(&db) {
+            eprintln!("recovery failed: {e}");
+            std::process::exit(2);
+        }
+        println!(
+            "pool: {} shards, {}/{} frames resident",
+            db.pool().shard_count(),
+            db.pool().resident(),
+            db.pool().capacity()
+        );
+        let report = obr::check::check_database(&db);
+        print!("{report}");
+        if report.is_clean() {
+            println!("OK");
+            std::process::exit(0);
+        }
+        println!(
+            "FAILED: {} findings ({} errors)",
+            report.findings.len(),
+            report.error_count()
+        );
+        std::process::exit(1);
     }
 
     let mut report = obr::check::Report::new();
