@@ -329,8 +329,11 @@ impl TandemReorganizer {
 
     fn pool_flush_free(&self, src: PageId, target: PageId) -> CoreResult<()> {
         // Order matters: target (with the records) before src (the freed
-        // image) — flush_pages preserves slice order across shards.
-        self.db.pool().flush_pages(&[target, src])?;
+        // image) — flush_pages preserves slice order across shards. Both
+        // pages are pinned-then-dropped just above, so neither may be
+        // reported as non-resident here.
+        let skipped = self.db.pool().flush_pages(&[target, src])?;
+        debug_assert!(skipped.is_empty(), "tandem move pages evicted mid-unit");
         self.db.pool().discard(src);
         self.db.fsm().free(src);
         Ok(())

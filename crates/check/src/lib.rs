@@ -20,17 +20,24 @@
 //!   careful-writing violations (§5.1), broken unit prev-LSN chains,
 //!   units that can neither be completed forward nor were finished
 //!   (§5.2), and checkpoint snapshots that reference the future (§5.3).
+//! - [`crashcheck`] — exhaustive crash-consistency checker. Runs scripted
+//!   workloads against a journaling disk, enumerates *every* crash state
+//!   (each WAL record boundary × each point in the careful-writing write
+//!   order, plus torn tails), and proves Forward Recovery (§5.1) drives
+//!   each one back to a committed, fsck-clean state.
 //!
 //! All checkers report through [`Report`]; a clean report has no findings
 //! of any severity. The `obr-cli check` subcommand and the repository's CI
 //! run them; `debug_assertions` builds additionally run targeted local
 //! checks inside SMO and reorganization-unit paths.
 
+pub mod crashcheck;
 pub mod fsck;
 pub mod lockcheck;
 pub mod report;
 pub mod wal_lint;
 
+pub use crashcheck::{run_crash_check, CrashCheckOptions, CrashCheckOutcome, CrashCheckStats};
 pub use fsck::{
     fsck_db, fsck_file, fsck_source, BaseFill, FileSource, FsckOptions, FsckResult, FsckStats,
     PageSource, PoolSource,

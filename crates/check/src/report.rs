@@ -81,6 +81,19 @@ impl Report {
             .count()
     }
 
+    /// The most severe finding recorded, or `None` on a clean report.
+    /// Severity derives `Ord` with `Warning < Error`, so callers can gate
+    /// exit codes on `worst_severity() >= Some(Severity::Error)`.
+    pub fn worst_severity(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity).max()
+    }
+
+    /// True when the report holds at least one [`Severity::Error`] finding.
+    /// Warnings (crash-shaped tails, empty units) do not trip this.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
     /// Record an error finding.
     pub fn error(
         &mut self,
@@ -160,6 +173,20 @@ mod tests {
         assert_eq!(r.error_count(), 0);
         r.error("wal", "torn", None, Some(Lsn(7)), "torn tail");
         assert_eq!(r.error_count(), 1);
+    }
+
+    #[test]
+    fn severity_orders_warning_below_error() {
+        assert!(Severity::Warning < Severity::Error);
+        let mut r = Report::new();
+        assert_eq!(r.worst_severity(), None);
+        assert!(!r.has_errors());
+        r.warning("wal", "empty-unit", None, None, "w");
+        assert_eq!(r.worst_severity(), Some(Severity::Warning));
+        assert!(!r.has_errors());
+        r.error("fsck", "lost-page", None, None, "e");
+        assert_eq!(r.worst_severity(), Some(Severity::Error));
+        assert!(r.has_errors());
     }
 
     #[test]

@@ -31,7 +31,7 @@ use std::io::Read;
 use std::path::Path;
 
 use obr_storage::{Lsn, PageId};
-use obr_wal::{LogManager, LogRecord, MovePayload, TxnId, UnitId};
+use obr_wal::{LogManager, LogReader, LogRecord, MovePayload, TornReason, TxnId, UnitId};
 
 use crate::report::Report;
 
@@ -55,6 +55,9 @@ struct OpenUnit {
     chain_broken: bool,
     /// `(org, dest)` of forward MOVEs seen so far, for undo detection.
     moves: Vec<(PageId, PageId)>,
+    /// Chained work records (MOVE/MODIFY/SWAP/SIDEPTR) attributed to the
+    /// unit, for empty-unit detection at END.
+    work: u64,
 }
 
 /// Scan state for [`lint_records`].
@@ -132,6 +135,7 @@ impl<'a> Linter<'a> {
             open.chain_broken = true;
         }
         open.recent_lsn = lsn;
+        open.work += 1;
         true
     }
 
@@ -159,6 +163,7 @@ impl<'a> Linter<'a> {
                     recent_lsn: lsn,
                     chain_broken: false,
                     moves: Vec::new(),
+                    work: 0,
                 });
             }
             LogRecord::ReorgMove {
@@ -229,7 +234,25 @@ impl<'a> Linter<'a> {
                             format!("END names unit {} but unit {} is open", unit.0, open.unit.0),
                         );
                     }
-                    Some(_) => self.finished_units += 1,
+                    Some(open) => {
+                        if open.work == 0 {
+                            // Recovery legitimately closes a unit that had
+                            // logged no work after a crash right past BEGIN,
+                            // so an empty unit is suspicious but not fatal.
+                            self.report.warning(
+                                CHECKER,
+                                "empty-unit",
+                                None,
+                                Some(lsn),
+                                format!(
+                                    "unit {} (begun at LSN {}) ends with no \
+                                     MOVE/MODIFY/SWAP/SIDEPTR records",
+                                    open.unit.0, open.begin_lsn
+                                ),
+                            );
+                        }
+                        self.finished_units += 1;
+                    }
                 }
             }
             LogRecord::Checkpoint { data } => {
@@ -423,64 +446,42 @@ pub fn lint_log(log: &LogManager, opts: &WalLintOptions) -> Report {
 /// Lint a log file on disk without repairing it.
 ///
 /// Unlike [`LogManager`]'s open path this never truncates a torn tail:
-/// an incomplete or undecodable frame is reported as a finding naming the
-/// byte offset and the last intact LSN before it.
+/// the tail is reported as a finding naming the byte offset and the last
+/// intact LSN before it, and the intact prefix is linted. Frame parsing is
+/// [`LogReader::scan`], the same parser the open path uses, so the linter
+/// and recovery agree on where the clean prefix ends.
 pub fn lint_wal_file(path: &Path, opts: &WalLintOptions) -> std::io::Result<Report> {
     let mut bytes = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut bytes)?;
 
-    let mut records: Vec<(Lsn, LogRecord)> = Vec::new();
+    let scan = LogReader::scan(&bytes);
     let mut report = Report::new();
-    let mut off = 0usize;
-    while off < bytes.len() {
-        let lsn = Lsn(records.len() as u64 + 1);
-        if off + 4 > bytes.len() {
-            report.error(
-                CHECKER,
-                "torn-frame",
-                None,
-                Some(Lsn(records.len() as u64)),
-                format!(
-                    "{} trailing bytes at offset {off} are too short for a frame \
-                     header; last intact record is LSN {}",
-                    bytes.len() - off,
-                    records.len()
-                ),
-            );
-            break;
-        }
-        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
-        let start = off + 4;
-        if start + len > bytes.len() {
-            report.error(
-                CHECKER,
-                "torn-frame",
-                None,
-                Some(Lsn(records.len() as u64)),
-                format!(
-                    "frame at offset {off} claims {len} bytes but only {} remain; \
-                     last intact record is LSN {}",
-                    bytes.len() - start,
-                    records.len()
-                ),
-            );
-            break;
-        }
-        match LogRecord::decode(&bytes[start..start + len]) {
-            Ok(rec) => records.push((lsn, rec)),
-            Err(e) => {
-                report.error(
-                    CHECKER,
-                    "undecodable-frame",
-                    None,
-                    Some(lsn),
-                    format!("frame at offset {off} (LSN {lsn}) does not decode: {e}"),
-                );
-                // The framing itself was intact, so keep scanning.
+    if let Some(tail) = scan.torn {
+        let last = scan.records.len() as u64;
+        let (code, what) = match tail.reason {
+            TornReason::TruncatedLength => {
+                ("torn-frame", "trailing bytes too short for a frame header")
             }
-        }
-        off = start + len;
+            TornReason::TruncatedFrame => ("torn-frame", "frame cut short"),
+            TornReason::Undecodable => ("undecodable-frame", "frame bytes do not decode"),
+        };
+        report.error(
+            CHECKER,
+            code,
+            None,
+            Some(Lsn(last)),
+            format!(
+                "{what} at byte offset {}; last intact record is LSN {last}",
+                tail.offset
+            ),
+        );
     }
+    let records: Vec<(Lsn, LogRecord)> = scan
+        .records
+        .into_iter()
+        .enumerate()
+        .map(|(i, rec)| (Lsn(i as u64 + 1), rec))
+        .collect();
     report.merge(lint_records(&records, opts));
     Ok(report)
 }
@@ -531,6 +532,18 @@ mod tests {
             &WalLintOptions::default(),
         );
         assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn empty_unit_warns_but_is_not_fatal() {
+        // BEGIN immediately followed by END: no MOVE/SIDEPTR in between.
+        // Recovery forward-completes such units, so this is a warning.
+        let r = lint_records(&seq(vec![begin(1), end(1)]), &WalLintOptions::default());
+        assert!(
+            r.findings.iter().any(|f| f.code == "empty-unit"),
+            "expected an empty-unit warning: {r}"
+        );
+        assert_eq!(r.error_count(), 0, "{r}");
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! Teeth test: prove the crash-consistency checker actually detects a
+//! Forward Recovery violation. `OBR_BUG_SKIP_SIDE_RESTORE=1` makes
+//! recovery skip rebuilding the side file, so a resumed pass 3 misses its
+//! catch-up work — the checker must report errors, not pass vacuously.
+//!
+//! This lives in its own test binary because the environment variable is
+//! process-global and must not leak into the clean-run tests.
+
+use obr_check::{run_crash_check, CrashCheckOptions};
+
+#[test]
+fn sabotaged_side_restore_is_caught() {
+    // Safe in edition 2021; this binary is single-threaded in its use of
+    // the variable (one test).
+    std::env::set_var("OBR_BUG_SKIP_SIDE_RESTORE", "1");
+    let out = run_crash_check(&CrashCheckOptions::default());
+    assert!(
+        out.report.has_errors(),
+        "checker failed to detect the injected side-file restore bug:\n{}",
+        out.report
+    );
+    // The violation must surface as a broken contract on a recovered or
+    // resumed state, not as a checker-internal error.
+    assert!(
+        out.report.findings.iter().any(|f| {
+            f.code == "state-divergence"
+                || f.code == "fsck-after-recovery"
+                || f.code == "resume-failed"
+                || f.code == "panic-during-verification"
+        }),
+        "unexpected finding mix:\n{}",
+        out.report
+    );
+}

@@ -534,7 +534,10 @@ impl Reorganizer {
 
     fn pass3_stable_point(&self, db: &Arc<Database>, builder: &mut UpperBuilder) -> CoreResult<()> {
         let touched = builder.take_touched();
-        db.pool().flush_pages(&touched)?;
+        // Pages the pool already evicted were written (and will be synced
+        // just below); the skipped set distinguishes them from typos in the
+        // touched bookkeeping, which would name pages never dirtied at all.
+        let _already_durable = db.pool().flush_pages(&touched)?;
         db.disk().sync()?;
         let state = Pass3State {
             stable_key: db.get_current(),
@@ -553,7 +556,7 @@ impl Reorganizer {
         // Make the whole new upper level durable before catch-up (§7.3).
         let pages = builder.pages_allocated();
         let built = builder.finish()?;
-        db.pool().flush_pages(&pages)?;
+        let _already_durable = db.pool().flush_pages(&pages)?;
         db.disk().sync()?;
         db.log().append_force(&LogRecord::Pass3Stable {
             state: Pass3State {

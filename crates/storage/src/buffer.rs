@@ -353,11 +353,26 @@ impl BufferPool {
     /// Flush a batch of pages (each with its prerequisites). Duplicates and
     /// already-clean pages are cheap no-ops; unlike [`Self::flush_all`] the
     /// disk is *not* fsynced — callers sequence their own sync barrier.
-    pub fn flush_pages(&self, ids: &[PageId]) -> StorageResult<()> {
+    ///
+    /// Returns the ids that were **not resident** when visited — either
+    /// already evicted (and therefore durable) or never fetched at all.
+    /// Callers that must distinguish "already on disk" from "never dirtied"
+    /// can cross-check the returned set against what they expect to have
+    /// touched; a silent skip is no longer observable as a successful flush.
+    pub fn flush_pages(&self, ids: &[PageId]) -> StorageResult<Vec<PageId>> {
+        let mut skipped = Vec::new();
         for &id in ids {
+            if !self.is_resident(id) {
+                skipped.push(id);
+            }
             self.flush_page(id)?;
         }
-        Ok(())
+        Ok(skipped)
+    }
+
+    /// True when `id` currently occupies a pool frame.
+    pub fn is_resident(&self, id: PageId) -> bool {
+        self.shard(id).frames.lock().contains_key(&id)
     }
 
     fn flush_rec(&self, id: PageId, visiting: &mut HashSet<PageId>) -> StorageResult<()> {
@@ -590,6 +605,31 @@ mod tests {
             disk.read_page(PageId(0)).unwrap().page_type(),
             Some(PageType::Leaf)
         );
+    }
+
+    #[test]
+    fn flush_pages_reports_non_resident_ids() {
+        let (disk, pool) = pool(8, 4);
+        {
+            let g = pool.fetch(PageId(1)).unwrap();
+            g.write().format(PageType::Leaf, 0);
+        }
+        {
+            let g = pool.fetch(PageId(2)).unwrap();
+            g.write().format(PageType::Leaf, 0);
+        }
+        // Page 5 was never fetched; pages 1 and 2 are resident and dirty.
+        let skipped = pool
+            .flush_pages(&[PageId(1), PageId(5), PageId(2)])
+            .unwrap();
+        assert_eq!(skipped, vec![PageId(5)]);
+        assert!(!pool.is_dirty(PageId(1)));
+        assert_eq!(disk.stats().writes, 2);
+        // A resident-but-clean page flushes as a no-op and is NOT skipped:
+        // it is durable, not unknown.
+        let skipped = pool.flush_pages(&[PageId(1)]).unwrap();
+        assert!(skipped.is_empty());
+        assert_eq!(disk.stats().writes, 2);
     }
 
     #[test]

@@ -13,11 +13,13 @@ pub mod buffer;
 pub mod codec;
 pub mod disk;
 pub mod error;
+pub mod faultdisk;
 pub mod fsm;
 pub mod page;
 
 pub use buffer::{BufferPool, FrameGuard, WalFlush, MAX_POOL_SHARDS};
 pub use disk::{DiskManager, DiskStats, FileDisk, InMemoryDisk};
 pub use error::{StorageError, StorageResult};
+pub use faultdisk::{DurabilityWitness, JournalDisk, JournalEventInfo};
 pub use fsm::FreeSpaceMap;
 pub use page::{Lsn, Page, PageId, PageType, HEADER_SIZE, PAGE_SIZE};

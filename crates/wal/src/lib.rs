@@ -15,10 +15,12 @@
 //! the at-most-one in-flight unit. It is copied into every checkpoint.
 
 pub mod log;
+pub mod reader;
 pub mod record;
 pub mod reorg_table;
 
 pub use log::{LogManager, LogStats, SyncStats};
+pub use reader::{LogReader, ScanOutcome, TornReason, TornTail};
 pub use record::{
     CheckpointData, LogRecord, MovePayload, Pass3State, ReorgKind, ReorgTableSnapshot, TxnId,
     UnitId,

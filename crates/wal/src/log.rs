@@ -60,6 +60,19 @@ pub struct LogStats {
 }
 
 impl LogStats {
+    /// Account one encoded record.
+    fn absorb(&mut self, frame: &[u8], rec: &LogRecord) {
+        self.records += 1;
+        self.bytes += frame.len() as u64;
+        if rec.is_reorg() {
+            self.reorg_records += 1;
+            self.reorg_bytes += frame.len() as u64;
+        }
+        let e = self.by_kind.entry(rec.kind_name()).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += frame.len() as u64;
+    }
+
     /// Difference against an earlier snapshot (kinds present in `self`).
     pub fn since(&self, earlier: &LogStats) -> LogStats {
         let mut by_kind = HashMap::new();
@@ -213,36 +226,18 @@ impl LogManager {
             .create(true)
             .truncate(false)
             .open(path)?;
-        let mut frames: Vec<Vec<u8>> = Vec::new();
-        let mut stats = LogStats::default();
-        let mut good_end = 0u64;
         let mut buf = Vec::new();
         file.read_to_end(&mut buf)?;
-        let mut pos = 0usize;
-        while pos + 4 <= buf.len() {
-            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
-            if pos + 4 + len > buf.len() {
-                break; // torn tail
-            }
-            let frame = buf[pos + 4..pos + 4 + len].to_vec();
-            // Validate before accepting (a corrupt frame ends the log).
-            let Ok(rec) = LogRecord::decode(&frame) else {
-                break;
-            };
-            stats.records += 1;
-            stats.bytes += frame.len() as u64;
-            if rec.is_reorg() {
-                stats.reorg_records += 1;
-                stats.reorg_bytes += frame.len() as u64;
-            }
-            let e = stats.by_kind.entry(rec.kind_name()).or_insert((0, 0));
-            e.0 += 1;
-            e.1 += frame.len() as u64;
-            frames.push(frame);
-            pos += 4 + len;
-            good_end = pos as u64;
+        // One torn-tail policy for every consumer: the shared byte-level
+        // reader returns the intact prefix; whatever trails it (a partial
+        // length, a cut frame, or an undecodable one) is truncated away.
+        let scan = crate::reader::LogReader::scan(&buf);
+        let mut stats = LogStats::default();
+        for (frame, rec) in scan.frames.iter().zip(scan.records.iter()) {
+            stats.absorb(frame, rec);
         }
-        file.set_len(good_end)?;
+        let frames = scan.frames;
+        file.set_len(scan.good_end)?;
         file.seek(SeekFrom::End(0))?;
         let n = frames.len() as u64;
         Ok(Self::assemble(
@@ -276,15 +271,7 @@ impl LogManager {
         let mut g = self.mem.lock();
         let lsn = g.next_lsn;
         g.next_lsn = lsn.next();
-        g.stats.records += 1;
-        g.stats.bytes += bytes.len() as u64;
-        if rec.is_reorg() {
-            g.stats.reorg_records += 1;
-            g.stats.reorg_bytes += bytes.len() as u64;
-        }
-        let e = g.stats.by_kind.entry(rec.kind_name()).or_insert((0, 0));
-        e.0 += 1;
-        e.1 += bytes.len() as u64;
+        g.stats.absorb(&bytes, rec);
         g.frames.push(bytes);
         lsn
     }
@@ -458,6 +445,45 @@ impl LogManager {
         Ok(out)
     }
 
+    /// A snapshot of the retained encoded frames: `(first_lsn, frames)`,
+    /// where frame `i` has LSN `first_lsn + i`. This is the watermark-free
+    /// raw material crash enumeration works from (serialize with
+    /// [`crate::reader::LogReader::encode_frames`] to get the on-disk byte
+    /// image).
+    pub fn frames_snapshot(&self) -> (Lsn, Vec<Vec<u8>>) {
+        let g = self.mem.lock();
+        (g.first_lsn, g.frames.clone())
+    }
+
+    /// Build a fresh, memory-only log containing exactly the records with
+    /// LSN in `[first_lsn, upto]`, all of them durable — the log a crash at
+    /// watermark `upto` leaves behind. The source log is not modified, so an
+    /// enumerator can carve every prefix out of one recorded run.
+    pub fn clone_prefix(&self, upto: Lsn) -> LogManager {
+        let g = self.mem.lock();
+        let keep = (upto.0 + 1).saturating_sub(g.first_lsn.0) as usize;
+        let frames: Vec<Vec<u8>> = g.frames.iter().take(keep).cloned().collect();
+        let first_lsn = g.first_lsn;
+        drop(g);
+        let mut stats = LogStats::default();
+        for frame in &frames {
+            if let Ok(rec) = LogRecord::decode(frame) {
+                stats.absorb(frame, &rec);
+            }
+        }
+        let durable = Lsn(first_lsn.0 + frames.len() as u64 - 1);
+        Self::assemble(
+            LogMem {
+                next_lsn: Lsn(durable.0 + 1),
+                frames,
+                first_lsn,
+                stats,
+            },
+            None,
+            durable,
+        )
+    }
+
     /// LSN of the most recent checkpoint record at or below the durable
     /// watermark, if any.
     pub fn last_checkpoint(&self) -> StorageResult<Option<(Lsn, LogRecord)>> {
@@ -601,6 +627,12 @@ impl LogManager {
 impl WalFlush for LogManager {
     fn flush_to(&self, lsn: Lsn) {
         LogManager::flush_to(self, lsn);
+    }
+}
+
+impl obr_storage::DurabilityWitness for LogManager {
+    fn durability_mark(&self) -> Lsn {
+        self.durable_lsn()
     }
 }
 
