@@ -184,7 +184,9 @@ pub fn check_conflict_actions() -> Report {
             );
         }
     }
-    if m.stats().forgone != 1 {
+    // Metric-value assertions are meaningless when the observability layer
+    // is compiled to no-ops; the behavioural check above still ran.
+    if !obr_obs::is_noop() && m.stats().forgone != 1 {
         report.error(
             CHECKER,
             "forgone-uncounted",

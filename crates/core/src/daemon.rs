@@ -48,9 +48,21 @@ impl ReorgDaemon {
                     if stop2.load(Ordering::Relaxed) {
                         break;
                     }
+                    db.core_metrics().daemon_cycles.inc();
+                    db.tracer()
+                        .emit(obr_obs::TraceKind::DaemonCycle, 0, 0, 0, 0, 0);
                     let reorg = Reorganizer::new(Arc::clone(&db), cfg.clone());
                     let decision = reorg.run_if_needed(trigger)?;
                     if decision != ReorgDecision::default() {
+                        db.core_metrics().daemon_runs.inc();
+                        db.tracer().emit(
+                            obr_obs::TraceKind::DaemonRun,
+                            0,
+                            0,
+                            0,
+                            u64::from(decision.compacted) | (u64::from(decision.swapped) << 1),
+                            u64::from(decision.shrunk),
+                        );
                         decisions.push(decision);
                         runs2.lock().push(decision);
                     }

@@ -8,10 +8,12 @@ use std::sync::Arc;
 
 use obr_btree::{BTree, SidePointerMode};
 use obr_lock::{LockManager, OwnerId};
+use obr_obs::{Registry, Snapshot, Tracer};
 use obr_storage::{BufferPool, DiskManager, FreeSpaceMap, PageId, WalFlush};
 use obr_wal::{CheckpointData, LogManager, LogRecord, ReorgStateTable, TxnId};
 
 use crate::error::CoreResult;
+use crate::metrics::CoreMetrics;
 use crate::sidefile::SideFile;
 
 /// Sentinel for "no pass-3 read position" (reorganization idle).
@@ -77,9 +79,55 @@ pub struct Database {
     /// Active transactions: id -> (begin LSN, most recent LSN).
     active_txns:
         parking_lot::Mutex<std::collections::HashMap<TxnId, (obr_storage::Lsn, obr_storage::Lsn)>>,
+    /// Per-database metrics directory: every subsystem publishes its live
+    /// counter handles here at assembly time.
+    metrics: Arc<Registry>,
+    /// Per-database trace sink for reorganization/recovery events.
+    tracer: Arc<Tracer>,
+    /// Engine-level counters (reorg units, recovery, daemon, tree gauges).
+    core_metrics: CoreMetrics,
 }
 
 impl Database {
+    /// Final assembly shared by every construction path: build the
+    /// per-database observability registry and tracer, create the
+    /// subsystems that don't vary between paths, and have each subsystem
+    /// publish its live metric handles into the registry.
+    fn assemble(
+        disk: Arc<dyn DiskManager>,
+        pool: Arc<BufferPool>,
+        fsm: Arc<FreeSpaceMap>,
+        log: Arc<LogManager>,
+        tree: Arc<BTree>,
+    ) -> Arc<Database> {
+        let metrics = Arc::new(Registry::new());
+        let locks = Arc::new(LockManager::new());
+        let side_file = Arc::new(SideFile::new(Arc::clone(&log)));
+        let core_metrics = CoreMetrics::default();
+        pool.register_metrics(&metrics);
+        log.register_metrics(&metrics);
+        locks.register_metrics(&metrics);
+        side_file.register_metrics(&metrics);
+        core_metrics.register(&metrics);
+        Arc::new(Database {
+            disk,
+            pool,
+            fsm,
+            locks,
+            reorg_table: Arc::new(ReorgStateTable::new()),
+            side_file,
+            log,
+            tree,
+            next_txn: AtomicU64::new(1),
+            next_owner: AtomicU64::new(1_000_000),
+            ck: AtomicU64::new(CK_IDLE),
+            active_txns: parking_lot::Mutex::new(std::collections::HashMap::new()),
+            metrics,
+            tracer: Arc::new(Tracer::new()),
+            core_metrics,
+        })
+    }
+
     /// Create a fresh database over `disk` with a buffer pool of
     /// `pool_frames` frames and a brand-new (empty) tree.
     pub fn create(
@@ -131,20 +179,7 @@ impl Database {
             Arc::clone(&log),
             side,
         )?);
-        Ok(Arc::new(Database {
-            disk,
-            pool,
-            fsm,
-            locks: Arc::new(LockManager::new()),
-            reorg_table: Arc::new(ReorgStateTable::new()),
-            side_file: Arc::new(SideFile::new(Arc::clone(&log))),
-            log,
-            tree,
-            next_txn: AtomicU64::new(1),
-            next_owner: AtomicU64::new(1_000_000),
-            ck: AtomicU64::new(CK_IDLE),
-            active_txns: parking_lot::Mutex::new(std::collections::HashMap::new()),
-        }))
+        Ok(Self::assemble(disk, pool, fsm, log, tree))
     }
 
     /// Create a fully durable database: pages in `<dir>/pages.db`, WAL in
@@ -182,20 +217,7 @@ impl Database {
             Arc::clone(&log),
             side,
         )?);
-        Ok(Arc::new(Database {
-            disk,
-            pool,
-            fsm,
-            locks: Arc::new(LockManager::new()),
-            reorg_table: Arc::new(ReorgStateTable::new()),
-            side_file: Arc::new(SideFile::new(Arc::clone(&log))),
-            log,
-            tree,
-            next_txn: AtomicU64::new(1),
-            next_owner: AtomicU64::new(1_000_000),
-            ck: AtomicU64::new(CK_IDLE),
-            active_txns: parking_lot::Mutex::new(std::collections::HashMap::new()),
-        }))
+        Ok(Self::assemble(disk, pool, fsm, log, tree))
     }
 
     /// Reopen a durable database from its directory (run
@@ -242,20 +264,34 @@ impl Database {
             PageId(0),
             side,
         )?);
-        Ok(Arc::new(Database {
-            disk,
-            pool,
-            fsm,
-            locks: Arc::new(LockManager::new()),
-            reorg_table: Arc::new(ReorgStateTable::new()),
-            side_file: Arc::new(SideFile::new(Arc::clone(&log))),
-            log,
-            tree,
-            next_txn: AtomicU64::new(1),
-            next_owner: AtomicU64::new(1_000_000),
-            ck: AtomicU64::new(CK_IDLE),
-            active_txns: parking_lot::Mutex::new(std::collections::HashMap::new()),
-        }))
+        Ok(Self::assemble(disk, pool, fsm, log, tree))
+    }
+
+    /// The per-database metrics registry. Subsystem counters are live: a
+    /// [`Registry::snapshot`] at any moment reads the same atomics the hot
+    /// paths update. Prefer [`Self::metrics_snapshot`], which also
+    /// refreshes the tree-shape gauges.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
+    }
+
+    /// The per-database trace sink. Attach a JSONL writer with
+    /// [`Tracer::attach_file`] to stream reorganization events.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// Engine-level counters (crate-internal write access).
+    pub(crate) fn core_metrics(&self) -> &CoreMetrics {
+        &self.core_metrics
+    }
+
+    /// Snapshot every registered metric, after refreshing the tree-shape
+    /// gauges (`tree_*`) from a fresh [`obr_btree::TreeStats`] walk.
+    pub fn metrics_snapshot(&self) -> CoreResult<Snapshot> {
+        let t = self.tree.stats()?;
+        self.core_metrics.publish_tree(&t);
+        Ok(self.metrics.snapshot())
     }
 
     /// The primary B+-tree.

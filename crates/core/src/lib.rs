@@ -18,6 +18,7 @@
 pub mod daemon;
 pub mod db;
 pub mod error;
+mod metrics;
 pub mod pass3;
 pub mod recovery;
 pub mod reorg;

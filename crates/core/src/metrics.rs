@@ -1,0 +1,96 @@
+//! Engine-level metric handles: reorganization, recovery, daemon and tree
+//! shape, published into the per-database [`Registry`].
+//!
+//! The lock manager, buffer pool, WAL and side file each own their handles
+//! and register them directly; what remains — everything the reorganizer,
+//! the recovery driver and the daemon count — lives here, owned by the
+//! [`crate::Database`] so it accumulates across reorganizer instances
+//! (each daemon cycle constructs a fresh `Reorganizer`, whose
+//! [`crate::ReorgStats`] is therefore per-run; these counters are the
+//! database-lifetime view of the same events).
+
+use obr_obs::{Counter, Gauge, Registry};
+
+/// Database-lifetime counters and gauges for the reorganization machinery.
+/// Field-per-metric: the hot paths clone nothing and format nothing.
+#[derive(Debug, Default)]
+pub(crate) struct CoreMetrics {
+    // Reorganization units (paper §5, Figure 2).
+    pub units_started: Counter,
+    pub units_completed: Counter,
+    pub units_undone: Counter,
+    pub units_inplace: Counter,
+    pub units_copy_switch: Counter,
+    pub deadlock_retries: Counter,
+    pub records_moved: Counter,
+    pub pages_freed: Counter,
+    // Pass 2 (§6.2) and pass 3 (§7).
+    pub pass2_swaps: Counter,
+    pub pass2_moves: Counter,
+    pub base_pages_read: Counter,
+    pub stable_points: Counter,
+    pub side_entries_applied: Counter,
+    // Restart recovery (§5.1, §7.3).
+    pub recovery_runs: Counter,
+    pub recovery_redo_applied: Counter,
+    pub recovery_losers_undone: Counter,
+    pub recovery_clrs_written: Counter,
+    pub recovery_forward_units: Counter,
+    pub recovery_pass3_resumes: Counter,
+    // Reorg daemon.
+    pub daemon_cycles: Counter,
+    pub daemon_runs: Counter,
+    // Tree shape, refreshed by `Database::metrics_snapshot` / `stats`.
+    pub tree_records: Gauge,
+    pub tree_leaf_pages: Gauge,
+    pub tree_internal_pages: Gauge,
+    pub tree_height: Gauge,
+    pub tree_fill_permille: Gauge,
+    pub tree_discontinuities: Gauge,
+}
+
+impl CoreMetrics {
+    /// Publish every handle into `reg` under its canonical name (the full
+    /// inventory is documented in DESIGN.md "Observability").
+    pub(crate) fn register(&self, reg: &Registry) {
+        reg.register_counter("reorg_units_started", &self.units_started);
+        reg.register_counter("reorg_units_completed", &self.units_completed);
+        reg.register_counter("reorg_units_undone", &self.units_undone);
+        reg.register_counter("reorg_units_inplace", &self.units_inplace);
+        reg.register_counter("reorg_units_copy_switch", &self.units_copy_switch);
+        reg.register_counter("reorg_deadlock_retries", &self.deadlock_retries);
+        reg.register_counter("reorg_records_moved", &self.records_moved);
+        reg.register_counter("reorg_pages_freed", &self.pages_freed);
+        reg.register_counter("reorg_pass2_swaps", &self.pass2_swaps);
+        reg.register_counter("reorg_pass2_moves", &self.pass2_moves);
+        reg.register_counter("reorg_base_pages_read", &self.base_pages_read);
+        reg.register_counter("reorg_stable_points", &self.stable_points);
+        reg.register_counter("reorg_side_entries_applied", &self.side_entries_applied);
+        reg.register_counter("recovery_runs", &self.recovery_runs);
+        reg.register_counter("recovery_redo_applied", &self.recovery_redo_applied);
+        reg.register_counter("recovery_losers_undone", &self.recovery_losers_undone);
+        reg.register_counter("recovery_clrs_written", &self.recovery_clrs_written);
+        reg.register_counter("recovery_forward_units", &self.recovery_forward_units);
+        reg.register_counter("recovery_pass3_resumes", &self.recovery_pass3_resumes);
+        reg.register_counter("reorg_daemon_cycles", &self.daemon_cycles);
+        reg.register_counter("reorg_daemon_runs", &self.daemon_runs);
+        reg.register_gauge("tree_records", &self.tree_records);
+        reg.register_gauge("tree_leaf_pages", &self.tree_leaf_pages);
+        reg.register_gauge("tree_internal_pages", &self.tree_internal_pages);
+        reg.register_gauge("tree_height", &self.tree_height);
+        reg.register_gauge("tree_fill_permille", &self.tree_fill_permille);
+        reg.register_gauge("tree_discontinuities", &self.tree_discontinuities);
+    }
+
+    /// Refresh the tree-shape gauges from a fresh [`obr_btree::TreeStats`].
+    pub(crate) fn publish_tree(&self, t: &obr_btree::TreeStats) {
+        self.tree_records.set(t.records);
+        self.tree_leaf_pages.set(t.leaf_pages as u64);
+        self.tree_internal_pages.set(t.internal_pages as u64);
+        self.tree_height.set(t.height as u64);
+        self.tree_fill_permille
+            .set((t.avg_leaf_fill * 1000.0) as u64);
+        self.tree_discontinuities
+            .set(t.leaf_discontinuities() as u64);
+    }
+}

@@ -22,6 +22,7 @@ use obr_btree::builder::UpperBuilder;
 use obr_btree::node::NODE_CAPACITY;
 use obr_btree::{NodeRef, NodeView, SmoObserver};
 use obr_lock::{LockMode, OwnerId, ResourceId};
+use obr_obs::TraceKind;
 use obr_storage::{Page, PageId, PageType, StorageError, PAGE_SIZE};
 use obr_wal::{LogRecord, Pass3State, TxnId};
 
@@ -111,6 +112,9 @@ impl SmoObserver for Pass3Observer {
                     op: SideOp::Upsert(leaf),
                 },
             );
+            self.db
+                .tracer()
+                .emit(TraceKind::SideEnqueue, 0, 3, u64::from(leaf.0), key, 1);
             self.db.locks().unlock(owner, ResourceId::Key(key));
         }
     }
@@ -129,6 +133,9 @@ impl SmoObserver for Pass3Observer {
                     op: SideOp::Remove,
                 },
             );
+            self.db
+                .tracer()
+                .emit(TraceKind::SideEnqueue, 0, 3, 0, key, 0);
             self.db.locks().unlock(owner, ResourceId::Key(key));
         }
     }
@@ -396,6 +403,7 @@ impl Reorganizer {
     /// Resume pass 3 after a crash, from the recovery-supplied restart
     /// state (§7.3).
     pub fn pass3_resume(&self, state: Pass3State) -> CoreResult<()> {
+        self.db_handle().core_metrics().recovery_pass3_resumes.inc();
         self.pass3_run(Some(state))
     }
 
@@ -407,6 +415,8 @@ impl Reorganizer {
             return Ok(()); // nothing above the leaves to rebuild
         }
         let old_gen = tree.generation()?;
+        db.tracer()
+            .emit(TraceKind::PassEnter, 0, 3, u64::from(old_root.0), 0, 0);
         tree.set_reorg_bit(true)?;
         let observer = Arc::new(Pass3Observer::new(Arc::clone(&db)));
         tree.set_observer(observer as Arc<dyn SmoObserver>);
@@ -448,7 +458,9 @@ impl Reorganizer {
                 self.pass3_finish_build(&db, builder)?
             }
         };
-        self.pass3_catchup_and_switch(&db, built, old_root, old_gen)
+        self.pass3_catchup_and_switch(&db, built, old_root, old_gen)?;
+        db.tracer().emit(TraceKind::PassExit, 0, 3, 0, 0, 0);
+        Ok(())
     }
 
     /// Read base pages from `start` (a low-mark frontier) to the end,
@@ -521,6 +533,7 @@ impl Reorganizer {
                 let mut st = self.stats.lock();
                 st.base_pages_read += 1;
             }
+            db.core_metrics().base_pages_read.inc();
             last_low = Some(low);
             since_stable += 1;
             if since_stable >= cfg.stable_interval {
@@ -545,6 +558,15 @@ impl Reorganizer {
         };
         db.log().append_force(&LogRecord::Pass3Stable { state });
         self.stats.lock().stable_points += 1;
+        db.core_metrics().stable_points.inc();
+        db.tracer().emit(
+            TraceKind::Pass3Stable,
+            0,
+            3,
+            u64::from(state.new_root.0),
+            state.stable_key,
+            0,
+        );
         Ok(())
     }
 
@@ -607,6 +629,10 @@ impl Reorganizer {
                 applied += 1;
             }
             self.stats.lock().side_entries_applied += applied;
+            db.core_metrics().side_entries_applied.add(applied);
+            if applied > 0 {
+                db.tracer().emit(TraceKind::SideDrain, 0, 3, 0, applied, 0);
+            }
             if db.side_file().is_empty() {
                 break;
             }
@@ -624,6 +650,10 @@ impl Reorganizer {
             applied += 1;
         }
         self.stats.lock().side_entries_applied += applied;
+        db.core_metrics().side_entries_applied.add(applied);
+        if applied > 0 {
+            db.tracer().emit(TraceKind::SideDrain, 0, 3, 0, applied, 1);
+        }
         // Editor changes after the final stable record: force them so the
         // switch lands on a durable new tree.
         db.pool().flush_all()?;
@@ -637,6 +667,14 @@ impl Reorganizer {
             tree.set_anchor(editor.root, editor.height, lsn)?;
             tree.set_generation(old_gen + 1)?;
             tree.set_reorg_bit(false)?;
+            db.tracer().emit(
+                TraceKind::TreeSwitch,
+                0,
+                3,
+                u64::from(editor.root.0),
+                u64::from(old_root.0),
+                u64::from(editor.height),
+            );
         }
         // The root location lives in "a special place on the disk": force it.
         db.pool().flush_page(tree.meta_id())?;

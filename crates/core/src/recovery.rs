@@ -76,6 +76,9 @@ fn skip_side_restore() -> bool {
 /// Run full recovery over a freshly [`Database::reopen`]ed engine.
 pub fn recover(db: &Arc<Database>) -> CoreResult<RecoveryReport> {
     let mut report = RecoveryReport::default();
+    db.core_metrics().recovery_runs.inc();
+    db.tracer()
+        .emit(obr_obs::TraceKind::RecoveryBegin, 0, 0, 0, 0, 0);
     let log = Arc::clone(db.log());
     // --- Redo start: the last durable (sharp) checkpoint. ---
     let ckpt = log.last_checkpoint()?;
@@ -212,6 +215,20 @@ pub fn recover(db: &Arc<Database>) -> CoreResult<RecoveryReport> {
             report.pages_reclaimed += 1;
         }
     }
+    let cm = db.core_metrics();
+    cm.recovery_redo_applied.add(report.redo_applied as u64);
+    cm.recovery_losers_undone.add(report.losers_undone as u64);
+    cm.recovery_clrs_written.add(report.clrs_written as u64);
+    cm.recovery_forward_units
+        .add(report.forward_units_completed as u64);
+    db.tracer().emit(
+        obr_obs::TraceKind::RecoveryEnd,
+        0,
+        0,
+        0,
+        report.redo_applied as u64,
+        report.forward_units_completed as u64,
+    );
     Ok(report)
 }
 

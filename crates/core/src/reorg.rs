@@ -24,6 +24,7 @@ use parking_lot::Mutex;
 use obr_btree::leaf::LEAF_BODY;
 use obr_btree::{LeafRef, LeafView, NodeRef, NodeView};
 use obr_lock::{LockError, LockMode, OwnerId, ResourceId};
+use obr_obs::TraceKind;
 use obr_storage::{Lsn, Page, PageId, PageType, PAGE_SIZE};
 use obr_wal::{LogRecord, MovePayload, ReorgKind, UnitId};
 
@@ -378,8 +379,14 @@ impl Reorganizer {
     /// unit (§5). On successful completion LK is cleared, so the *next*
     /// reorganization sweeps the whole tree again.
     pub fn pass1_compact(&self) -> CoreResult<()> {
+        let units_before = self.db.core_metrics().units_completed.get();
+        self.db.tracer().emit(TraceKind::PassEnter, 0, 1, 0, 0, 0);
         self.pass1_compact_inner()?;
         self.db.reorg_table().clear_lk();
+        let units = self.db.core_metrics().units_completed.get() - units_before;
+        self.db
+            .tracer()
+            .emit(TraceKind::PassExit, 0, 1, 0, units, 0);
         Ok(())
     }
 
@@ -608,6 +615,7 @@ impl Reorganizer {
                 | Err(CoreError::Lock(LockError::Timeout)) => {
                     attempt += 1;
                     self.stats.lock().deadlock_retries += 1;
+                    self.db.core_metrics().deadlock_retries.inc();
                     self.db.locks().release_all(self.owner);
                     if attempt > self.cfg.max_unit_retries {
                         return Err(CoreError::TooManyRetries(format!(
@@ -785,6 +793,15 @@ impl Reorganizer {
             leaf_pages,
         });
         db.reorg_table().begin_unit(begin_lsn);
+        db.core_metrics().units_started.inc();
+        db.tracer().emit(
+            TraceKind::UnitBegin,
+            unit.0,
+            1,
+            u64::from(base.0),
+            if in_place { 0 } else { u64::from(dest.0) },
+            group.len() as u64,
+        );
         self.check_fail(FailSite::AfterUnitBegin)?;
         // --- Move records (under the tree's SMO guard). ---
         let mut journal: Vec<MoveJournal> = Vec::new();
@@ -847,6 +864,15 @@ impl Reorganizer {
                     pool.add_write_dependency(org, dest);
                 }
                 self.stats.lock().records_moved += records.len() as u64;
+                db.core_metrics().records_moved.add(records.len() as u64);
+                db.tracer().emit(
+                    TraceKind::UnitMove,
+                    unit.0,
+                    1,
+                    u64::from(org.0),
+                    u64::from(dest.0),
+                    records.len() as u64,
+                );
                 journal.push(MoveJournal { org, dest, records });
                 if first_move {
                     first_move = false;
@@ -929,6 +955,14 @@ impl Reorganizer {
                     .map_err(|e| CoreError::Recovery(format!("MODIFY insert failed: {e}")))?;
             }
             bpage.set_lsn(lsn);
+            db.tracer().emit(
+                TraceKind::UnitModify,
+                unit.0,
+                1,
+                u64::from(base.0),
+                old_entries.len() as u64,
+                new_entries.len() as u64,
+            );
         }
         self.check_fail(FailSite::BeforeEnd)?;
         // --- Deallocate emptied sources (careful writing: dest first). ---
@@ -958,6 +992,22 @@ impl Reorganizer {
                 st.copy_switch_units += 1;
             }
         }
+        let cm = db.core_metrics();
+        cm.units_completed.inc();
+        cm.pages_freed.add(freed);
+        if in_place {
+            cm.units_inplace.inc();
+        } else {
+            cm.units_copy_switch.inc();
+        }
+        db.tracer().emit(
+            TraceKind::UnitEnd,
+            unit.0,
+            1,
+            u64::from(base.0),
+            largest_key,
+            freed,
+        );
         Ok(largest_key)
     }
 
@@ -1146,6 +1196,10 @@ impl Reorganizer {
         });
         self.db.reorg_table().abandon_unit();
         self.stats.lock().units_undone += 1;
+        self.db.core_metrics().units_undone.inc();
+        self.db
+            .tracer()
+            .emit(TraceKind::UnitUndo, unit.0, 0, 0, 0, 0);
     }
 
     // ------------------------------------------------------------------
@@ -1155,6 +1209,17 @@ impl Reorganizer {
     /// Pass 2: place leaves contiguously in key order, preferring moves to
     /// empty pages over swaps.
     pub fn pass2_swap_move(&self) -> CoreResult<()> {
+        let units_before = self.db.core_metrics().units_completed.get();
+        self.db.tracer().emit(TraceKind::PassEnter, 0, 2, 0, 0, 0);
+        self.pass2_swap_move_inner()?;
+        let units = self.db.core_metrics().units_completed.get() - units_before;
+        self.db
+            .tracer()
+            .emit(TraceKind::PassExit, 0, 2, 0, units, 0);
+        Ok(())
+    }
+
+    fn pass2_swap_move_inner(&self) -> CoreResult<()> {
         let tree = self.db.tree();
         let fsm = self.db.fsm();
         let mut leaves = tree.leaves_in_key_order()?;
@@ -1227,6 +1292,7 @@ impl Reorganizer {
                 | Err(CoreError::Lock(LockError::Timeout)) => {
                     attempt += 1;
                     self.stats.lock().deadlock_retries += 1;
+                    self.db.core_metrics().deadlock_retries.inc();
                     self.db.locks().release_all(self.owner);
                     if attempt > self.cfg.max_unit_retries {
                         return Err(CoreError::TooManyRetries(format!(
@@ -1249,6 +1315,7 @@ impl Reorganizer {
                 | Err(CoreError::Lock(LockError::Timeout)) => {
                     attempt += 1;
                     self.stats.lock().deadlock_retries += 1;
+                    self.db.core_metrics().deadlock_retries.inc();
                     self.db.locks().release_all(self.owner);
                     if attempt > self.cfg.max_unit_retries {
                         return Err(CoreError::TooManyRetries(format!(
@@ -1304,6 +1371,15 @@ impl Reorganizer {
             leaf_pages: vec![src, target],
         });
         db.reorg_table().begin_unit(begin_lsn);
+        db.core_metrics().units_started.inc();
+        db.tracer().emit(
+            TraceKind::UnitBegin,
+            unit.0,
+            2,
+            u64::from(base.0),
+            u64::from(src.0),
+            u64::from(target.0),
+        );
         self.check_fail(FailSite::AfterUnitBegin)?;
         let largest_key;
         let mut journal: Vec<MoveJournal> = Vec::new();
@@ -1347,6 +1423,15 @@ impl Reorganizer {
                 pool.add_write_dependency(src, target);
             }
             self.stats.lock().records_moved += records.len() as u64;
+            db.core_metrics().records_moved.add(records.len() as u64);
+            db.tracer().emit(
+                TraceKind::Pass2Move,
+                unit.0,
+                2,
+                u64::from(src.0),
+                u64::from(target.0),
+                records.len() as u64,
+            );
             journal.push(MoveJournal {
                 org: src,
                 dest: target,
@@ -1410,6 +1495,18 @@ impl Reorganizer {
             st.moves += 1;
             st.pages_freed += 1;
         }
+        let cm = db.core_metrics();
+        cm.units_completed.inc();
+        cm.pass2_moves.inc();
+        cm.pages_freed.inc();
+        db.tracer().emit(
+            TraceKind::UnitEnd,
+            unit.0,
+            2,
+            u64::from(base.0),
+            largest_key,
+            1,
+        );
         Ok(())
     }
 
@@ -1527,8 +1624,25 @@ impl Reorganizer {
             leaf_pages: vec![a, b],
         });
         db.reorg_table().begin_unit(begin_lsn);
+        db.core_metrics().units_started.inc();
+        db.tracer().emit(
+            TraceKind::UnitBegin,
+            unit.0,
+            2,
+            u64::from(base_a.0),
+            u64::from(a.0),
+            u64::from(b.0),
+        );
         self.check_fail(FailSite::AfterUnitBegin)?;
         self.apply_swap(unit, a, b, [a_left, a_right, b_left, b_right])?;
+        db.tracer().emit(
+            TraceKind::Pass2Swap,
+            unit.0,
+            2,
+            u64::from(a.0),
+            u64::from(b.0),
+            0,
+        );
         // MODIFY both parents (upgrade R -> X). When the two leaves share a
         // parent, it is updated exactly once.
         let bases: Vec<PageId> = if base_a == base_b {
@@ -1556,6 +1670,8 @@ impl Reorganizer {
             });
             db.reorg_table().abandon_unit();
             self.stats.lock().units_undone += 1;
+            db.core_metrics().units_undone.inc();
+            db.tracer().emit(TraceKind::UnitUndo, unit.0, 2, 0, 0, 0);
             return Err(e.into());
         }
         {
@@ -1616,6 +1732,17 @@ impl Reorganizer {
             st.units += 1;
             st.swaps += 1;
         }
+        let cm = db.core_metrics();
+        cm.units_completed.inc();
+        cm.pass2_swaps.inc();
+        db.tracer().emit(
+            TraceKind::UnitEnd,
+            unit.0,
+            2,
+            u64::from(base_a.0),
+            largest_key,
+            0,
+        );
         Ok(())
     }
 }

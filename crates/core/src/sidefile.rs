@@ -81,6 +81,11 @@ pub struct SideFile {
     seq: AtomicU64,
     entries: Mutex<BTreeMap<u64, SideEntry>>,
     appended_total: AtomicU64,
+    /// Current queue depth with its high-watermark: the backlog pass-3
+    /// catch-up must drain. Registered as `side_file_depth`.
+    depth: obr_obs::Gauge,
+    /// Same as `appended_total`, as a registry handle (`side_file_appends`).
+    appends: obr_obs::Counter,
 }
 
 impl SideFile {
@@ -91,7 +96,16 @@ impl SideFile {
             seq: AtomicU64::new(1),
             entries: Mutex::new(BTreeMap::new()),
             appended_total: AtomicU64::new(0),
+            depth: obr_obs::Gauge::new(),
+            appends: obr_obs::Counter::new(),
         }
+    }
+
+    /// Publish this side file's depth gauge and append counter into `reg`
+    /// under the canonical `side_file_*` names.
+    pub fn register_metrics(&self, reg: &obr_obs::Registry) {
+        reg.register_gauge("side_file_depth", &self.depth);
+        reg.register_counter("side_file_appends", &self.appends);
     }
 
     /// Append an entry; the insertion is logged (like any table insert).
@@ -104,8 +118,14 @@ impl SideFile {
             value: entry.encode(),
             prev_lsn: Lsn::ZERO,
         });
-        self.entries.lock().insert(seq, entry);
+        let depth = {
+            let mut g = self.entries.lock();
+            g.insert(seq, entry);
+            g.len()
+        };
         self.appended_total.fetch_add(1, Ordering::Relaxed);
+        self.appends.inc();
+        self.depth.set(depth as u64);
         seq
     }
 
@@ -114,7 +134,9 @@ impl SideFile {
         let mut g = self.entries.lock();
         let (&seq, &entry) = g.iter().next()?;
         g.remove(&seq);
+        let depth = g.len();
         drop(g);
+        self.depth.set(depth as u64);
         self.log.append(&LogRecord::TxnDelete {
             txn,
             page: SIDE_FILE_PAGE,
@@ -144,13 +166,16 @@ impl SideFile {
     pub fn restore(&self, seq: u64, entry: SideEntry) {
         let mut g = self.entries.lock();
         g.insert(seq, entry);
+        self.depth.set(g.len() as u64);
         let next = self.seq.load(Ordering::Relaxed).max(seq + 1);
         self.seq.store(next, Ordering::Relaxed);
     }
 
     /// Recovery: drop a replayed entry (its removal was logged).
     pub fn unrestore(&self, seq: u64) {
-        self.entries.lock().remove(&seq);
+        let mut g = self.entries.lock();
+        g.remove(&seq);
+        self.depth.set(g.len() as u64);
     }
 
     /// §7.3: at recovery, entries for keys after the most recent stable key
@@ -160,6 +185,7 @@ impl SideFile {
         let mut g = self.entries.lock();
         let before = g.len();
         g.retain(|_, e| e.key < stable_key);
+        self.depth.set(g.len() as u64);
         before - g.len()
     }
 

@@ -7,6 +7,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use obr_obs::{Counter, Histogram, Registry};
 use parking_lot::{Condvar, Mutex};
 
 use crate::mode::LockMode;
@@ -124,7 +125,21 @@ struct ResQueue {
 struct State {
     resources: HashMap<ResourceId, ResQueue>,
     reorg_owners: HashSet<OwnerId>,
-    stats: LockStats,
+}
+
+/// Per-manager metric handles. These atomics are the single source of
+/// truth: [`LockManager::stats`] reads them, and
+/// [`LockManager::register_metrics`] publishes the same handles into a
+/// database's [`Registry`] so snapshots see identical numbers.
+#[derive(Debug, Default)]
+struct LockMetrics {
+    immediate_grants: Counter,
+    waited_grants: Counter,
+    forgone: Counter,
+    deadlocks: Counter,
+    instant_grants: Counter,
+    wait_nanos: Counter,
+    wait_ns: Histogram,
 }
 
 /// The lock manager. One global table guarded by a mutex/condvar pair —
@@ -150,6 +165,7 @@ pub struct LockManager {
     cv: Condvar,
     tickets: AtomicU64,
     timeout: Duration,
+    metrics: LockMetrics,
 }
 
 impl Default for LockManager {
@@ -171,7 +187,22 @@ impl LockManager {
             cv: Condvar::new(),
             tickets: AtomicU64::new(0),
             timeout,
+            metrics: LockMetrics::default(),
         }
+    }
+
+    /// Publish this manager's counters into `reg` under the canonical
+    /// `lock_*` names (see DESIGN.md "Observability"). The registry adopts
+    /// the live handles, so later snapshots read the same atomics
+    /// [`LockManager::stats`] reads.
+    pub fn register_metrics(&self, reg: &Registry) {
+        reg.register_counter("lock_grants_immediate", &self.metrics.immediate_grants);
+        reg.register_counter("lock_grants_waited", &self.metrics.waited_grants);
+        reg.register_counter("lock_forgone_rx", &self.metrics.forgone);
+        reg.register_counter("lock_deadlocks", &self.metrics.deadlocks);
+        reg.register_counter("lock_rs_instant_grants", &self.metrics.instant_grants);
+        reg.register_counter("lock_wait_ns_total", &self.metrics.wait_nanos);
+        reg.register_histogram("lock_wait_ns", &self.metrics.wait_ns);
     }
 
     /// Register `owner` as the reorganizer: it becomes the preferred
@@ -185,9 +216,17 @@ impl LockManager {
         self.state.lock().reorg_owners.remove(&owner);
     }
 
-    /// Counters snapshot.
+    /// Counters snapshot (a view over the same atomics the metrics
+    /// registry reads).
     pub fn stats(&self) -> LockStats {
-        self.state.lock().stats
+        LockStats {
+            immediate_grants: self.metrics.immediate_grants.get(),
+            waited_grants: self.metrics.waited_grants.get(),
+            forgone: self.metrics.forgone.get(),
+            deadlocks: self.metrics.deadlocks.get(),
+            instant_grants: self.metrics.instant_grants.get(),
+            wait_nanos: self.metrics.wait_nanos.get(),
+        }
     }
 
     /// Blocking lock acquisition (with conversion support).
@@ -237,18 +276,20 @@ impl LockManager {
                 GrantCheck::Granted => {
                     if enqueued {
                         Self::remove_waiter(&mut st, res, ticket);
-                        st.stats.wait_nanos += wait_start.elapsed().as_nanos() as u64;
+                        let waited = wait_start.elapsed().as_nanos() as u64;
+                        self.metrics.wait_nanos.add(waited);
+                        self.metrics.wait_ns.record(waited);
                         if instant {
-                            st.stats.instant_grants += 1;
+                            self.metrics.instant_grants.inc();
                         } else {
-                            st.stats.waited_grants += 1;
+                            self.metrics.waited_grants.inc();
                         }
                         // Others behind us may now be grantable too.
                         self.cv.notify_all();
                     } else if instant {
-                        st.stats.instant_grants += 1;
+                        self.metrics.instant_grants.inc();
                     } else {
-                        st.stats.immediate_grants += 1;
+                        self.metrics.immediate_grants.inc();
                     }
                     return Ok(());
                 }
@@ -257,7 +298,7 @@ impl LockManager {
                         Self::remove_waiter(&mut st, res, ticket);
                         self.cv.notify_all();
                     }
-                    st.stats.forgone += 1;
+                    self.metrics.forgone.inc();
                     return Err(LockError::ConflictsWithReorg);
                 }
                 GrantCheck::BadUpgrade(a, b) => {
@@ -285,7 +326,7 @@ impl LockManager {
                     if let Some(victim_ticket) = Self::find_deadlock_victim(&st, owner, res) {
                         if victim_ticket == ticket {
                             Self::remove_waiter(&mut st, res, ticket);
-                            st.stats.deadlocks += 1;
+                            self.metrics.deadlocks.inc();
                             self.cv.notify_all();
                             return Err(LockError::Deadlock);
                         }
@@ -297,7 +338,7 @@ impl LockManager {
                     // Were we chosen as a victim while sleeping?
                     if Self::is_victim(&st, res, ticket) {
                         Self::remove_waiter(&mut st, res, ticket);
-                        st.stats.deadlocks += 1;
+                        self.metrics.deadlocks.inc();
                         self.cv.notify_all();
                         return Err(LockError::Deadlock);
                     }

@@ -39,6 +39,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use obr_obs::{Counter, Gauge, Registry};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::disk::DiskManager;
@@ -71,6 +72,37 @@ struct Shard {
     frames: Mutex<HashMap<PageId, Arc<Frame>>>,
     /// dependent -> prerequisite pages that must be durable first.
     deps: Mutex<HashMap<PageId, HashSet<PageId>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Per-shard counters, as returned by [`BufferPool::shard_stats`]. The
+/// pool-level aggregates live in the metrics registry (`pool_*`); these
+/// expose the skew across shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Frames resident in this shard right now.
+    pub resident: usize,
+    /// Lookups satisfied from this shard's frame table.
+    pub hits: u64,
+    /// Lookups that had to admit a new frame.
+    pub misses: u64,
+    /// Frames retired from this shard by eviction.
+    pub evictions: u64,
+}
+
+/// Pool-level metric handles; published into a database's registry by
+/// [`BufferPool::register_metrics`].
+#[derive(Debug, Default)]
+struct PoolMetrics {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    flushes: Counter,
+    resident: Gauge,
 }
 
 /// A pinned page. Dropping the guard unpins the frame. `write()` marks the
@@ -122,7 +154,7 @@ pub struct BufferPool {
     resident: AtomicUsize,
     wal: RwLock<Option<Arc<dyn WalFlush>>>,
     clock: AtomicU64,
-    flushes: AtomicU64,
+    metrics: PoolMetrics,
 }
 
 /// Default shard count: the machine's parallelism rounded up to a power of
@@ -156,6 +188,9 @@ impl BufferPool {
             .map(|_| Shard {
                 frames: Mutex::new(HashMap::new()),
                 deps: Mutex::new(HashMap::new()),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
             })
             .collect();
         BufferPool {
@@ -166,8 +201,35 @@ impl BufferPool {
             resident: AtomicUsize::new(0),
             wal: RwLock::new(None),
             clock: AtomicU64::new(0),
-            flushes: AtomicU64::new(0),
+            metrics: PoolMetrics::default(),
         }
+    }
+
+    /// Publish this pool's aggregate counters into `reg` under the
+    /// canonical `pool_*` names (see DESIGN.md "Observability"). Per-shard
+    /// skew stays out of the registry — read it via
+    /// [`BufferPool::shard_stats`].
+    pub fn register_metrics(&self, reg: &Registry) {
+        reg.register_counter("pool_hits", &self.metrics.hits);
+        reg.register_counter("pool_misses", &self.metrics.misses);
+        reg.register_counter("pool_evictions", &self.metrics.evictions);
+        reg.register_counter("pool_flushes", &self.metrics.flushes);
+        reg.register_gauge("pool_resident", &self.metrics.resident);
+    }
+
+    /// Per-shard hit/miss/eviction counts and residency, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardStats {
+                shard: i,
+                resident: s.frames.lock().len(),
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                evictions: s.evictions.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Shard owning `id`. Low bits: consecutive page ids round-robin across
@@ -203,7 +265,7 @@ impl BufferPool {
 
     /// Total page flushes performed by this pool.
     pub fn flush_count(&self) -> u64 {
-        self.flushes.load(Ordering::Relaxed)
+        self.metrics.flushes.get()
     }
 
     fn touch(&self, frame: &Frame) {
@@ -232,6 +294,8 @@ impl BufferPool {
                 if let Some(frame) = frames.get(&id) {
                     frame.pin.fetch_add(1, Ordering::AcqRel);
                     self.touch(frame);
+                    shard.hits.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.hits.inc();
                     return Ok(FrameGuard {
                         frame: Arc::clone(frame),
                     });
@@ -269,6 +333,8 @@ impl BufferPool {
             self.resident.fetch_sub(1, Ordering::AcqRel);
             frame.pin.fetch_add(1, Ordering::AcqRel);
             self.touch(frame);
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.hits.inc();
             return Ok(FrameGuard {
                 frame: Arc::clone(frame),
             });
@@ -282,6 +348,9 @@ impl BufferPool {
         });
         self.touch(&frame);
         frames.insert(id, Arc::clone(&frame));
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        self.metrics.misses.inc();
+        self.metrics.resident.set(self.resident() as u64);
         Ok(FrameGuard { frame })
     }
 
@@ -309,12 +378,16 @@ impl BufferPool {
             return Err(StorageError::PoolExhausted);
         };
         self.flush_page(victim)?;
-        let mut frames = self.shard(victim).frames.lock();
+        let shard = self.shard(victim);
+        let mut frames = shard.frames.lock();
         if let Some(f) = frames.get(&victim) {
             // Only drop it if still unpinned and clean.
             if f.pin.load(Ordering::Acquire) == 0 && !f.dirty.load(Ordering::Acquire) {
                 frames.remove(&victim);
                 self.resident.fetch_sub(1, Ordering::AcqRel);
+                shard.evictions.fetch_add(1, Ordering::Relaxed);
+                self.metrics.evictions.inc();
+                self.metrics.resident.set(self.resident() as u64);
             }
         }
         Ok(())
@@ -414,7 +487,7 @@ impl BufferPool {
         }
         self.disk.write_page(id, &page)?;
         frame.dirty.store(false, Ordering::Release);
-        self.flushes.fetch_add(1, Ordering::Relaxed);
+        self.metrics.flushes.inc();
         Ok(())
     }
 

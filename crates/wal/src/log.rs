@@ -38,6 +38,7 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
+use obr_obs::{Counter, Gauge, Histogram, Registry};
 use parking_lot::{Condvar, Mutex};
 
 use obr_storage::{Lsn, StorageResult, WalFlush};
@@ -168,10 +169,23 @@ pub struct LogManager {
     /// Highest durable LSN — readable without any lock.
     durable: AtomicU64,
     group_commit: AtomicBool,
-    flush_calls: AtomicU64,
-    syncs: AtomicU64,
-    batches: AtomicU64,
-    group_waits: AtomicU64,
+    metrics: WalMetrics,
+}
+
+/// Per-manager metric handles: the durability-path counters behind
+/// [`SyncStats`] plus the append-path counters and the durable-watermark
+/// lag gauge. [`LogManager::register_metrics`] publishes these same
+/// handles into a database's [`Registry`].
+#[derive(Debug, Default)]
+struct WalMetrics {
+    flush_calls: Counter,
+    syncs: Counter,
+    batches: Counter,
+    group_waits: Counter,
+    appends: Counter,
+    append_bytes: Counter,
+    batch_records: Histogram,
+    durable_lag: Gauge,
 }
 
 impl Default for LogManager {
@@ -193,11 +207,24 @@ impl LogManager {
             io: Mutex::new(IoState { file, file_next }),
             durable: AtomicU64::new(durable.0),
             group_commit: AtomicBool::new(true),
-            flush_calls: AtomicU64::new(0),
-            syncs: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            group_waits: AtomicU64::new(0),
+            metrics: WalMetrics::default(),
         }
+    }
+
+    /// Publish this log's counters into `reg` under the canonical `wal_*`
+    /// names (see DESIGN.md "Observability"). The registry adopts the live
+    /// handles, so snapshots read the same atomics [`Self::sync_stats`]
+    /// reads; `wal_batches_per_fsync` is derived by consumers as
+    /// `wal_batches / wal_syncs`.
+    pub fn register_metrics(&self, reg: &Registry) {
+        reg.register_counter("wal_flush_calls", &self.metrics.flush_calls);
+        reg.register_counter("wal_syncs", &self.metrics.syncs);
+        reg.register_counter("wal_batches", &self.metrics.batches);
+        reg.register_counter("wal_group_waits", &self.metrics.group_waits);
+        reg.register_counter("wal_appends", &self.metrics.appends);
+        reg.register_counter("wal_append_bytes", &self.metrics.append_bytes);
+        reg.register_histogram("wal_batch_records", &self.metrics.batch_records);
+        reg.register_gauge("wal_durable_lag", &self.metrics.durable_lag);
     }
 
     /// Create an empty log. LSNs start at 1; [`Lsn::ZERO`] means "none".
@@ -268,11 +295,19 @@ impl LogManager {
     /// section is memory-only: appends never wait behind an fsync.
     pub fn append(&self, rec: &LogRecord) -> Lsn {
         let bytes = rec.encode();
+        self.metrics.appends.inc();
+        self.metrics.append_bytes.add(bytes.len() as u64);
         let mut g = self.mem.lock();
         let lsn = g.next_lsn;
         g.next_lsn = lsn.next();
         g.stats.absorb(&bytes, rec);
         g.frames.push(bytes);
+        drop(g);
+        // Un-flushed tail behind the durable watermark; the peak is the
+        // worst backlog an fsync ever had to cover.
+        self.metrics
+            .durable_lag
+            .set(lsn.0.saturating_sub(self.durable.load(Ordering::Acquire)));
         lsn
     }
 
@@ -295,7 +330,7 @@ impl LogManager {
         if target == Lsn::ZERO || self.durable.load(Ordering::Acquire) >= target.0 {
             return;
         }
-        self.flush_calls.fetch_add(1, Ordering::Relaxed);
+        self.metrics.flush_calls.inc();
         if !self.group_commit.load(Ordering::Acquire) {
             self.legacy_flush(target);
             return;
@@ -312,7 +347,7 @@ impl LogManager {
             if !d.flushing {
                 break;
             }
-            self.group_waits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.group_waits.inc();
             self.dur_cv.wait(&mut d);
         }
         // Elected flusher: take the baton, write one batch covering every
@@ -361,10 +396,13 @@ impl LogManager {
             // would break the WAL contract silently.
             file.write_all(&buf).expect("WAL append failed");
             file.sync_data().expect("WAL fsync failed");
+            let covered = batch.0 + 1 - file_next.0;
             io.file_next = Lsn(batch.0 + 1);
-            self.syncs.fetch_add(1, Ordering::Relaxed);
+            self.metrics.syncs.inc();
+            self.metrics.batch_records.record(covered);
         }
-        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.metrics.batches.inc();
+        self.metrics.durable_lag.set(0);
         batch
     }
 
@@ -391,10 +429,12 @@ impl LogManager {
             let file = io.file.as_mut().expect("checked above");
             file.write_all(&buf).expect("WAL append failed");
             file.sync_data().expect("WAL fsync failed");
+            let covered = target.0 + 1 - io.file_next.0;
             io.file_next = Lsn(target.0 + 1);
-            self.syncs.fetch_add(1, Ordering::Relaxed);
+            self.metrics.syncs.inc();
+            self.metrics.batch_records.record(covered);
         }
-        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.metrics.batches.inc();
         self.durable.fetch_max(target.0, Ordering::AcqRel);
     }
 
@@ -606,10 +646,10 @@ impl LogManager {
     /// Durability-path counters (fsync batching).
     pub fn sync_stats(&self) -> SyncStats {
         SyncStats {
-            flush_calls: self.flush_calls.load(Ordering::Relaxed),
-            syncs: self.syncs.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            group_waits: self.group_waits.load(Ordering::Relaxed),
+            flush_calls: self.metrics.flush_calls.get(),
+            syncs: self.metrics.syncs.get(),
+            batches: self.metrics.batches.get(),
+            group_waits: self.metrics.group_waits.get(),
         }
     }
 

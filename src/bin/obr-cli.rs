@@ -4,6 +4,9 @@
 //! obr-cli <dir> [--pages N]
 //! obr-cli check <dir> [--tree] [--locks] [--wal] [--all] [--live]
 //! obr-cli check --crash [--budget N] [--seed S] [--report PATH]
+//! obr-cli stats <dir> [--json]
+//! obr-cli stats --workload [--json] [--keep DIR]
+//! obr-cli trace [--out PATH]
 //! ```
 //!
 //! Shell commands: `put K V`, `get K`, `del K`, `scan LO HI`, `stats`,
@@ -20,6 +23,21 @@
 //! sample for CI. All check modes exit non-zero only when a checker
 //! reports an *error*-severity finding; warnings are printed but do not
 //! fail the run.
+//!
+//! `stats` prints the metrics registry — every counter, gauge (with its
+//! peak) and histogram documented in DESIGN.md "Observability" — either as
+//! an aligned table or, with `--json`, one JSON object. `stats <dir>`
+//! opens and recovers the durable database under `<dir>` first (so the
+//! recovery and tree-shape metrics reflect that database); `stats
+//! --workload` instead runs the scripted mixed workload of
+//! [`obr::workloads::mixed_reorg_workload`] — reorganization passes racing
+//! live updaters — in a temporary directory (kept only with `--keep DIR`)
+//! and reports the metrics it produced.
+//!
+//! `trace` runs the deterministic scripted reorganization of
+//! [`obr::workloads::scripted_reorg_trace`] and emits its structured trace
+//! as JSON Lines — one event per line, schema documented in DESIGN.md — to
+//! stdout or to `--out PATH`.
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
@@ -210,10 +228,151 @@ fn exit_with(report: &obr::check::Report) -> ! {
     std::process::exit(0);
 }
 
+/// `obr-cli stats <dir> [--json]` or
+/// `obr-cli stats --workload [--json] [--keep DIR]`.
+///
+/// Prints the full metrics-registry snapshot of a database: for `<dir>`,
+/// the durable database there (opened and recovered first); for
+/// `--workload`, a scratch database that just ran the scripted mixed
+/// workload (reorganization under concurrent updaters), which exercises
+/// the counters only concurrency can produce — forgone RX conflicts,
+/// side-file backlog, WAL group-commit batching.
+fn run_stats(args: &[String]) -> ! {
+    const USAGE: &str = "usage: obr-cli stats <dir> [--json]\n\
+                         \x20      obr-cli stats --workload [--json] [--keep DIR]";
+    let mut dir: Option<std::path::PathBuf> = None;
+    let (mut json, mut workload) = (false, false);
+    let mut keep: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--workload" => workload = true,
+            "--keep" => match it.next() {
+                Some(p) => keep = Some(std::path::PathBuf::from(p)),
+                None => {
+                    eprintln!("--keep needs a directory\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            other if !other.starts_with("--") && dir.is_none() => {
+                dir = Some(std::path::PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unknown stats argument {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (db, scratch) = if workload {
+        let scratch = keep.is_none().then(|| {
+            std::env::temp_dir().join(format!("obr-stats-workload-{}", std::process::id()))
+        });
+        let target = keep.clone().or_else(|| scratch.clone()).unwrap();
+        if !json {
+            println!("running scripted mixed workload in {}", target.display());
+        }
+        match obr::workloads::mixed_reorg_workload(&target) {
+            Ok(db) => (db, scratch),
+            Err(e) => {
+                eprintln!("workload failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        let Some(dir) = dir else {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        };
+        let db = match Database::open_durable(&dir, 1024, SidePointerMode::TwoWay) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("cannot open {}: {e}", dir.display());
+                std::process::exit(2);
+            }
+        };
+        if let Err(e) = recover(&db) {
+            eprintln!("recovery failed: {e}");
+            std::process::exit(2);
+        }
+        (db, None)
+    };
+    let snap = match db.metrics_snapshot() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot snapshot metrics: {e}");
+            std::process::exit(2);
+        }
+    };
+    if json {
+        println!("{}", snap.to_json());
+    } else {
+        print!("{snap}");
+    }
+    drop(db);
+    if let Some(scratch) = scratch {
+        let _ = std::fs::remove_dir_all(scratch);
+    }
+    std::process::exit(0);
+}
+
+/// `obr-cli trace [--out PATH]`: run the deterministic scripted
+/// reorganization and emit its structured trace as JSON Lines (schema in
+/// DESIGN.md "Observability") to stdout or `PATH`.
+fn run_trace(args: &[String]) -> ! {
+    const USAGE: &str = "usage: obr-cli trace [--out PATH]";
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = Some(std::path::PathBuf::from(p)),
+                None => {
+                    eprintln!("--out needs a path\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown trace argument {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (_db, events) = match obr::workloads::scripted_reorg_trace() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scripted reorganization failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut body = String::new();
+    for e in &events {
+        body.push_str(&e.to_json());
+        body.push('\n');
+    }
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &body) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+            println!("{} events written to {}", events.len(), path.display());
+        }
+        None => print!("{body}"),
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("check") {
         run_check(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("stats") {
+        run_stats(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("trace") {
+        run_trace(&raw[1..]);
     }
     let mut args = raw.into_iter();
     let Some(dir) = args.next() else {

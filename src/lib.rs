@@ -9,6 +9,8 @@
 //! * [`lock`] — the lock manager with the paper's R/RX/RS modes.
 //! * [`btree`] — the primary B+-tree (free-at-empty deletes, side pointers,
 //!   bottom-up bulk loading).
+//! * [`obs`] — the observability layer: label-free metrics registry and
+//!   structured trace-event sink (`obr-cli stats` / `obr-cli trace`).
 //! * [`core`] — the reorganizer (three passes, side file, forward
 //!   recovery) and the assembled [`core::Database`].
 //! * [`txn`] — transactional sessions (the §4.1.2/§4.1.3 protocols) and
@@ -37,6 +39,9 @@ pub use obr_btree as btree;
 pub use obr_check as check;
 pub use obr_core as core;
 pub use obr_lock as lock;
+pub use obr_obs as obs;
 pub use obr_storage as storage;
 pub use obr_txn as txn;
 pub use obr_wal as wal;
+
+pub mod workloads;

@@ -1,0 +1,100 @@
+//! Golden test for the structured trace schema.
+//!
+//! [`obr::workloads::scripted_reorg_trace`] runs a fully deterministic
+//! three-pass reorganization; its event stream — rendered with
+//! [`obr::obs::TraceEvent::to_json_stable`], which omits the two
+//! timing-dependent fields (`seq`, `us`) — must match the checked-in
+//! fixture byte for byte. Regenerate after an intentional change with:
+//!
+//! ```text
+//! OBR_UPDATE_GOLDEN=1 cargo test --test trace_schema
+//! ```
+
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/scripted_reorg_trace.jsonl")
+}
+
+#[test]
+fn scripted_reorg_trace_matches_golden() {
+    let (_db, events) = obr::workloads::scripted_reorg_trace().unwrap();
+    let mut actual = String::new();
+    for e in &events {
+        actual.push_str(&e.to_json_stable());
+        actual.push('\n');
+    }
+    let path = golden_path();
+    if std::env::var_os("OBR_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    assert_eq!(
+        actual, expected,
+        "scripted reorg trace diverged from tests/golden/scripted_reorg_trace.jsonl; \
+         if the change is intentional, regenerate with OBR_UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn trace_events_obey_the_fixed_schema() {
+    let (_db, events) = obr::workloads::scripted_reorg_trace().unwrap();
+    assert!(!events.is_empty());
+    // seq strictly increases; the full rendering carries every field of
+    // the fixed schema in order.
+    for pair in events.windows(2) {
+        assert!(pair[1].seq > pair[0].seq);
+    }
+    for e in &events {
+        let json = e.to_json();
+        for key in [
+            "\"seq\":",
+            "\"us\":",
+            "\"event\":\"",
+            "\"unit\":",
+            "\"pass\":",
+            "\"page\":",
+            "\"a\":",
+            "\"b\":",
+        ] {
+            assert!(json.contains(key), "{json} missing {key}");
+        }
+        assert!(e.pass <= 3, "pass out of range in {json}");
+    }
+    // A full run traces all three passes, in order, and ends each one.
+    let passes: Vec<(String, u8)> = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                obr::obs::TraceKind::PassEnter | obr::obs::TraceKind::PassExit
+            )
+        })
+        .map(|e| (e.kind.as_str().to_string(), e.pass))
+        .collect();
+    assert_eq!(
+        passes,
+        vec![
+            ("pass_enter".into(), 1),
+            ("pass_exit".into(), 1),
+            ("pass_enter".into(), 2),
+            ("pass_exit".into(), 2),
+            ("pass_enter".into(), 3),
+            ("pass_exit".into(), 3),
+        ]
+    );
+    // Every unit that begins also ends, exactly once.
+    let begun: Vec<u64> = events
+        .iter()
+        .filter(|e| e.kind == obr::obs::TraceKind::UnitBegin)
+        .map(|e| e.unit)
+        .collect();
+    let ended: Vec<u64> = events
+        .iter()
+        .filter(|e| e.kind == obr::obs::TraceKind::UnitEnd)
+        .map(|e| e.unit)
+        .collect();
+    assert_eq!(begun, ended);
+}
