@@ -1,9 +1,9 @@
 //! The Tandem-style reorganizer.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use obr_sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use obr_sync::Mutex;
 
 use obr_btree::leaf::LEAF_BODY;
 use obr_btree::{LeafRef, LeafView, NodeRef, NodeView};
@@ -72,7 +72,7 @@ impl TandemReorganizer {
             db,
             cfg,
             owner,
-            stats: Mutex::new(TandemStats::default()),
+            stats: Mutex::named(TandemStats::default(), "tandem.stats"),
             stop: AtomicBool::new(false),
         }
     }

@@ -1,7 +1,7 @@
 //! Throughput of the transactional layer (sessions + lock protocols), with
 //! and without a reorganizer running — the microbench form of E4.
 
-use std::sync::atomic::AtomicBool;
+use obr_sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Duration;
 

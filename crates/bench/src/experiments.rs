@@ -1,7 +1,7 @@
 //! The eight experiments E1–E8 (see DESIGN.md for the paper mapping).
 //! Each function runs self-contained and returns a printable report.
 
-use std::sync::atomic::AtomicBool;
+use obr_sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -364,7 +364,7 @@ pub fn e5_forward_recovery(scale: Scale) -> String {
             std::thread::scope(|s| {
                 let stopper = s.spawn(|| {
                     std::thread::sleep(Duration::from_millis(5 + c * 3));
-                    t.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                    t.stop.store(true, obr_sync::atomic::Ordering::Relaxed);
                 });
                 t.run_merges().unwrap();
                 stopper.join().unwrap();

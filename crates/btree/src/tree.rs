@@ -16,10 +16,10 @@
 //! Logical locking (S/X/R/RX of §4) lives in `obr-txn`/`obr-core` above
 //! this layer.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use obr_sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, MutexGuard};
+use obr_sync::{Mutex, MutexGuard};
 
 use obr_storage::{BufferPool, FreeSpaceMap, Lsn, Page, PageId, PageType, StorageError, PAGE_SIZE};
 use obr_wal::{LogManager, LogRecord, TxnId};
@@ -71,7 +71,7 @@ pub struct BTree {
     /// Even = quiescent; odd = an SMO is mutating the structure.
     epoch: AtomicU64,
     side: SidePointerMode,
-    observer: parking_lot::RwLock<Option<Arc<dyn SmoObserver>>>,
+    observer: obr_sync::RwLock<Option<Arc<dyn SmoObserver>>>,
 }
 
 /// RAII guard for a structure modification: holds the SMO mutex and keeps
@@ -122,10 +122,10 @@ impl BTree {
             fsm,
             log,
             meta_id,
-            smo: Mutex::new(()),
+            smo: Mutex::named((), "tree.smo"),
             epoch: AtomicU64::new(0),
             side,
-            observer: parking_lot::RwLock::new(None),
+            observer: obr_sync::RwLock::named(None, "tree.observer"),
         })
     }
 
@@ -147,10 +147,10 @@ impl BTree {
             fsm,
             log,
             meta_id,
-            smo: Mutex::new(()),
+            smo: Mutex::named((), "tree.smo"),
             epoch: AtomicU64::new(0),
             side,
-            observer: parking_lot::RwLock::new(None),
+            observer: obr_sync::RwLock::named(None, "tree.observer"),
         })
     }
 

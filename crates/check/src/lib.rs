@@ -25,6 +25,14 @@
 //!   (each WAL record boundary × each point in the careful-writing write
 //!   order, plus torn tails), and proves Forward Recovery (§5.1) drives
 //!   each one back to a committed, fsck-clean state.
+//! - [`srclint`] — concurrency source lint. Textual rules keeping the
+//!   hot paths analyzable by the interleaving explorer: justified
+//!   `Relaxed` orderings, no raw sync primitives bypassing the
+//!   `obr-sync` facade, no locking inside `unsafe`, documented unsafe.
+//! - [`lockorder`] — lock-acquisition-order manifest checker. Diffs the
+//!   lock-order edges observed by the `obr-race` explorer against the
+//!   committed manifest `check/lockorder.toml` and proves the declared
+//!   graph acyclic.
 //!
 //! All checkers report through [`Report`]; a clean report has no findings
 //! of any severity. The `obr-cli check` subcommand and the repository's CI
@@ -34,7 +42,9 @@
 pub mod crashcheck;
 pub mod fsck;
 pub mod lockcheck;
+pub mod lockorder;
 pub mod report;
+pub mod srclint;
 pub mod wal_lint;
 
 pub use crashcheck::{run_crash_check, CrashCheckOptions, CrashCheckOutcome, CrashCheckStats};
@@ -43,7 +53,11 @@ pub use fsck::{
     PageSource, PoolSource,
 };
 pub use lockcheck::{check_acquisition_order, check_compat_matrix, check_lock_protocol};
+pub use lockorder::{
+    check_lock_order, check_lock_order_file, load_manifest, parse_manifest, LockOrderManifest,
+};
 pub use report::{Finding, Report, Severity};
+pub use srclint::{check_whitelist, lint_sources, FACADE_EXEMPT, RELAXED_OK};
 pub use wal_lint::{lint_log, lint_records, lint_wal_file, WalLintOptions};
 
 use obr_core::Database;

@@ -1,0 +1,20 @@
+//! The concurrency source lint must hold over the live workspace: this
+//! is the same scan `obr-cli check --lint` and CI run.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let mut report = obr_check::lint_sources(root);
+    report.merge(obr_check::check_whitelist(root));
+    assert!(report.is_clean(), "srclint findings:\n{report}");
+}

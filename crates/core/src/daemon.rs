@@ -3,11 +3,11 @@
 //! it periodically inspects the tree and runs only the passes the
 //! [`ReorgTrigger`] calls for.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use obr_sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use obr_sync::Mutex;
 
 use crate::db::Database;
 use crate::error::{CoreError, CoreResult};
@@ -30,7 +30,7 @@ impl ReorgDaemon {
         interval: Duration,
     ) -> ReorgDaemon {
         let stop = Arc::new(AtomicBool::new(false));
-        let runs = Arc::new(Mutex::new(Vec::new()));
+        let runs = Arc::new(Mutex::named(Vec::new(), "daemon.runs"));
         let stop2 = Arc::clone(&stop);
         let runs2 = Arc::clone(&runs);
         let handle = std::thread::Builder::new()

@@ -3,7 +3,7 @@
 //! manager, free-space map, reorganization state table, side file, and the
 //! primary B+-tree.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use obr_sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use obr_btree::{BTree, SidePointerMode};
@@ -78,7 +78,7 @@ pub struct Database {
     ck: AtomicU64,
     /// Active transactions: id -> (begin LSN, most recent LSN).
     active_txns:
-        parking_lot::Mutex<std::collections::HashMap<TxnId, (obr_storage::Lsn, obr_storage::Lsn)>>,
+        obr_sync::Mutex<std::collections::HashMap<TxnId, (obr_storage::Lsn, obr_storage::Lsn)>>,
     /// Per-database metrics directory: every subsystem publishes its live
     /// counter handles here at assembly time.
     metrics: Arc<Registry>,
@@ -121,7 +121,7 @@ impl Database {
             next_txn: AtomicU64::new(1),
             next_owner: AtomicU64::new(1_000_000),
             ck: AtomicU64::new(CK_IDLE),
-            active_txns: parking_lot::Mutex::new(std::collections::HashMap::new()),
+            active_txns: obr_sync::Mutex::named(std::collections::HashMap::new(), "db.active_txns"),
             metrics,
             tracer: Arc::new(Tracer::new()),
             core_metrics,

@@ -15,7 +15,7 @@
 //! X-locks the *old* tree lock to drain old-tree transactions before
 //! deallocating the old upper levels.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use obr_sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use obr_btree::builder::UpperBuilder;

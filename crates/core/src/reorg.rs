@@ -16,10 +16,10 @@
 //! BEGIN/MOVE/MODIFY/END per §5; at a deadlock the reorganizer is the
 //! victim and the unit is undone via compensating moves (§5.2).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use obr_sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use obr_sync::Mutex;
 
 use obr_btree::leaf::LEAF_BODY;
 use obr_btree::{LeafRef, LeafView, NodeRef, NodeView};
@@ -279,8 +279,8 @@ impl Reorganizer {
             owner,
             next_unit: AtomicU64::new(1),
             fail: None,
-            rng: Mutex::new(0x9E37_79B9_7F4A_7C15),
-            stats: Mutex::new(ReorgStats::default()),
+            rng: Mutex::named(0x9E37_79B9_7F4A_7C15, "reorg.rng"),
+            stats: Mutex::named(ReorgStats::default(), "reorg.stats"),
         }
     }
 

@@ -8,11 +8,11 @@
 //! past the most recent stable key are dropped at recovery because the
 //! reorganizer will re-read those base pages anyway.
 
+use obr_sync::atomic::{AtomicU64, Ordering};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use obr_sync::Mutex;
 
 use obr_storage::{Lsn, PageId, StorageError, StorageResult};
 use obr_wal::{LogManager, LogRecord, TxnId};
@@ -94,7 +94,7 @@ impl SideFile {
         SideFile {
             log,
             seq: AtomicU64::new(1),
-            entries: Mutex::new(BTreeMap::new()),
+            entries: Mutex::named(BTreeMap::new(), "side.entries"),
             appended_total: AtomicU64::new(0),
             depth: obr_obs::Gauge::new(),
             appends: obr_obs::Counter::new(),

@@ -2,13 +2,13 @@
 //! the RX "forgo" conflict action, and deadlock detection with the
 //! reorganizer as preferred victim.
 
+use obr_sync::atomic::{AtomicU64, Ordering};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use obr_obs::{Counter, Histogram, Registry};
-use parking_lot::{Condvar, Mutex};
+use obr_sync::{Condvar, Mutex};
 
 use crate::mode::LockMode;
 
@@ -183,7 +183,7 @@ impl LockManager {
     /// Create a lock manager with a custom wait timeout.
     pub fn with_timeout(timeout: Duration) -> LockManager {
         LockManager {
-            state: Mutex::new(State::default()),
+            state: Mutex::named(State::default(), "lockmgr.state"),
             cv: Condvar::new(),
             tickets: AtomicU64::new(0),
             timeout,
@@ -924,8 +924,8 @@ mod tests {
     fn invariants_hold_under_mixed_mode_stress() {
         let m = mgr();
         m.register_reorganizer(OwnerId(100));
-        let stop = std::sync::atomic::AtomicBool::new(false);
-        let violations = std::sync::Mutex::new(Vec::new());
+        let stop = obr_sync::atomic::AtomicBool::new(false);
+        let violations = obr_sync::Mutex::new(Vec::new());
         thread::scope(|s| {
             // A checker thread samples the invariant continuously.
             let m1 = &m;
@@ -935,11 +935,11 @@ mod tests {
                 let m = m1;
                 let stop = stop1;
                 let violations = violations1;
-                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                while !stop.load(obr_sync::atomic::Ordering::Relaxed) {
                     let v = m.validate_invariants();
                     if !v.is_empty() {
-                        violations.lock().unwrap().extend(v);
-                        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                        violations.lock().extend(v);
+                        stop.store(true, obr_sync::atomic::Ordering::Relaxed);
                     }
                 }
             });
@@ -961,7 +961,7 @@ mod tests {
                     }
                     m.release_all(o);
                 }
-                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                stop.store(true, obr_sync::atomic::Ordering::Relaxed);
             });
             // Reader/updater threads with the forgo-then-RS protocol.
             for t in 0..4u64 {
@@ -972,7 +972,7 @@ mod tests {
                     let stop = stop3;
                     let o = OwnerId(t + 1);
                     let mut i = t;
-                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    while !stop.load(obr_sync::atomic::Ordering::Relaxed) {
                         i += 1;
                         let base = ResourceId::Page((i % 4) as u32);
                         let leaf = ResourceId::Page(100 + (i % 8) as u32);
@@ -992,7 +992,7 @@ mod tests {
                 });
             }
         });
-        let v = violations.into_inner().unwrap();
+        let v = violations.into_inner();
         assert!(v.is_empty(), "invariant violations: {v:?}");
     }
 

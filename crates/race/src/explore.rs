@@ -1,0 +1,270 @@
+//! Schedule explorers: seeded-random sweeps and bounded exhaustive
+//! enumeration with DPOR-lite pruning.
+//!
+//! Both explorers drive [`obr_sync::model::run_controlled`] over a
+//! scenario body and fold every run into an [`ExploreStats`]:
+//! distinct-schedule coverage (FNV-1a hashes of the chosen thread
+//! sequence), the union of observed lock-order edges, and the first
+//! failing run (with enough detail to replay it).
+//!
+//! The exhaustive explorer walks the schedule tree depth-first. At each
+//! decision point it considers every enabled candidate, but prunes an
+//! alternative `j` when the candidate actually chosen at that step was
+//! *independent* of `j` and the step's span touched no shared state
+//! (`span_dirty == false`): swapping two adjacent independent steps
+//! yields an equivalent execution, so only one order needs exploring.
+//! This is the classic persistent-set intuition, applied per-step — a
+//! sound-for-assertions, deliberately simple cut of dynamic partial
+//! order reduction.
+
+use std::collections::BTreeSet;
+
+use obr_sync::model::{
+    run_controlled, CandKind, Candidate, PrefixChooser, RandomChooser, RunReport, RunResult,
+};
+
+use crate::scenarios::Scenario;
+
+/// Default per-run step budget. Generous: the longest scenario
+/// (buffer-pool eviction) takes a few hundred steps.
+pub const DEFAULT_MAX_STEPS: usize = 20_000;
+
+/// How one failing run can be reproduced.
+#[derive(Debug, Clone)]
+pub enum Repro {
+    /// Re-run the scenario with `RandomChooser::new(seed)`.
+    Seed(u64),
+    /// Re-run the scenario with `PrefixChooser::new(choices)`.
+    Choices(Vec<usize>),
+}
+
+/// A failed run, with everything needed to replay and diagnose it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Scenario that failed.
+    pub scenario: &'static str,
+    /// What went wrong.
+    pub result: RunResult,
+    /// How to reproduce the exact schedule.
+    pub repro: Repro,
+    /// The schedule hash of the failing interleaving.
+    pub schedule_hash: u64,
+    /// The chosen thread sequence (for trace dumps).
+    pub schedule: Vec<usize>,
+}
+
+/// Accumulated coverage and outcome statistics for one scenario.
+#[derive(Debug, Default)]
+pub struct ExploreStats {
+    /// Total schedules executed.
+    pub runs: u64,
+    /// Distinct schedule hashes observed.
+    pub distinct: BTreeSet<u64>,
+    /// Branches skipped by the DPOR-lite independence rule
+    /// (exhaustive mode only).
+    pub pruned: u64,
+    /// Runs that hit the step budget (counted, not failed).
+    pub step_limited: u64,
+    /// Union of lock-order edges `(held class, acquired class)` over
+    /// every run.
+    pub edges: BTreeSet<(&'static str, &'static str)>,
+    /// First failure encountered, if any.
+    pub failure: Option<Failure>,
+    /// Total scheduling decisions across all runs.
+    pub total_steps: u64,
+    /// Maximum steps seen in a single run.
+    pub max_steps_seen: u64,
+}
+
+impl ExploreStats {
+    fn absorb(
+        &mut self,
+        scenario: &'static str,
+        report: &RunReport,
+        repro: impl FnOnce() -> Repro,
+    ) {
+        self.runs += 1;
+        self.distinct.insert(report.schedule_hash);
+        self.total_steps += report.steps as u64;
+        self.max_steps_seen = self.max_steps_seen.max(report.steps as u64);
+        for e in &report.edges {
+            self.edges.insert(*e);
+        }
+        match &report.result {
+            RunResult::Complete => {}
+            RunResult::StepLimit => self.step_limited += 1,
+            other => {
+                if self.failure.is_none() {
+                    self.failure = Some(Failure {
+                        scenario,
+                        result: other.clone(),
+                        repro: repro(),
+                        schedule_hash: report.schedule_hash,
+                        schedule: report.schedule.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Merge another scenario's stats into a whole-sweep aggregate.
+    pub fn merge(&mut self, other: &ExploreStats) {
+        self.runs += other.runs;
+        self.distinct.extend(other.distinct.iter().copied());
+        self.pruned += other.pruned;
+        self.step_limited += other.step_limited;
+        self.edges.extend(other.edges.iter().copied());
+        self.total_steps += other.total_steps;
+        self.max_steps_seen = self.max_steps_seen.max(other.max_steps_seen);
+        if self.failure.is_none() {
+            self.failure.clone_from(&other.failure);
+        }
+    }
+}
+
+/// Run `count` seeded-random schedules of `scenario`, seeds
+/// `seed_base..seed_base + count`. Deterministic: the same seed always
+/// produces the same schedule. Stops early on the first failure.
+pub fn run_random(
+    scenario: Scenario,
+    seed_base: u64,
+    count: u64,
+    max_steps: usize,
+) -> ExploreStats {
+    let mut stats = ExploreStats::default();
+    for seed in seed_base..seed_base.saturating_add(count) {
+        let report = run_controlled(Box::new(RandomChooser::new(seed)), max_steps, scenario.run);
+        stats.absorb(scenario.name, &report, || Repro::Seed(seed));
+        if stats.failure.is_some() {
+            break;
+        }
+    }
+    stats
+}
+
+/// Replay one exact schedule of `scenario` from a recorded repro.
+pub fn replay(scenario: Scenario, repro: &Repro, max_steps: usize) -> RunReport {
+    match repro {
+        Repro::Seed(s) => run_controlled(Box::new(RandomChooser::new(*s)), max_steps, scenario.run),
+        Repro::Choices(c) => run_controlled(
+            Box::new(PrefixChooser::new(c.clone())),
+            max_steps,
+            scenario.run,
+        ),
+    }
+}
+
+/// Is swapping these two adjacent steps guaranteed to produce an
+/// equivalent execution? Conservative: only obviously-commuting pairs
+/// are independent.
+fn independent(a: &Candidate, b: &Candidate) -> bool {
+    match (&a.kind, &b.kind) {
+        // A pure step (local computation up to its next yield) commutes
+        // with anything only if its span touched no shared state; the
+        // caller checks span_dirty separately, so treat Pure as
+        // non-independent unless the span was clean — handled below.
+        (CandKind::Pure, _) | (_, CandKind::Pure) => true,
+        (
+            CandKind::Sync {
+                obj: oa, write: wa, ..
+            },
+            CandKind::Sync {
+                obj: ob, write: wb, ..
+            },
+        ) => oa != ob || (!wa && !wb),
+        // Joins synchronize with the joined thread's entire history.
+        (CandKind::Join, _) | (_, CandKind::Join) => false,
+    }
+}
+
+/// Bounded exhaustive (DFS) exploration with DPOR-lite pruning.
+///
+/// Walks the schedule tree depth-first using prefix replay. The
+/// frontier holds prefixes still to explore; each executed run
+/// contributes new branch points for every step where an enabled
+/// alternative was not pruned. Exploration stops when the tree is
+/// exhausted, `max_runs` schedules have executed, or a failure is
+/// found.
+pub fn run_exhaustive(scenario: Scenario, max_runs: u64, max_steps: usize) -> ExploreStats {
+    let mut stats = ExploreStats::default();
+    // Each frontier entry is a decision prefix (candidate indices).
+    let mut frontier: Vec<Vec<usize>> = vec![Vec::new()];
+    while let Some(prefix) = frontier.pop() {
+        if stats.runs >= max_runs {
+            break;
+        }
+        let prefix_len = prefix.len();
+        let report = run_controlled(
+            Box::new(PrefixChooser::new(prefix.clone())),
+            max_steps,
+            scenario.run,
+        );
+        // The choices actually taken (prefix + first-enabled tail).
+        let taken = report.choices.clone();
+        stats.absorb(scenario.name, &report, || Repro::Choices(taken.clone()));
+        if stats.failure.is_some() {
+            break;
+        }
+        // Open new branches at every step past the prefix: DFS order —
+        // push shallower branch points first so deeper ones pop first.
+        for (step, rec) in report.records.iter().enumerate().skip(prefix_len) {
+            if rec.candidates.len() < 2 {
+                continue;
+            }
+            let chosen = &rec.candidates[rec.chosen];
+            for (j, alt) in rec.candidates.iter().enumerate() {
+                if j == rec.chosen {
+                    continue;
+                }
+                // DPOR-lite: if the chosen step commutes with this
+                // alternative and its span touched no shared state,
+                // the swapped order is equivalent — skip it.
+                if !rec.span_dirty && independent(alt, chosen) {
+                    stats.pruned += 1;
+                    continue;
+                }
+                let mut branch = taken[..step].to_vec();
+                branch.push(j);
+                frontier.push(branch);
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+
+    #[test]
+    fn random_sweep_is_deterministic() {
+        let s = scenarios::by_name("sidefile_append_vs_drain").unwrap();
+        let a = run_random(s, 1, 8, DEFAULT_MAX_STEPS);
+        let b = run_random(s, 1, 8, DEFAULT_MAX_STEPS);
+        assert!(a.failure.is_none(), "{:?}", a.failure);
+        assert_eq!(a.distinct, b.distinct);
+        assert_eq!(a.total_steps, b.total_steps);
+    }
+
+    #[test]
+    fn exhaustive_prunes_but_still_covers() {
+        let s = scenarios::by_name("wal_group_commit").unwrap();
+        let stats = run_exhaustive(s, 200, DEFAULT_MAX_STEPS);
+        assert!(stats.failure.is_none(), "{:?}", stats.failure);
+        assert!(stats.runs > 1, "tree has more than one schedule");
+        assert!(stats.pruned > 0, "independence rule never fired");
+        assert!(stats.distinct.len() > 1);
+    }
+
+    #[test]
+    fn replay_reproduces_schedule_hash() {
+        let s = scenarios::by_name("lock_retry_vs_undo").unwrap();
+        let first = run_controlled(Box::new(RandomChooser::new(42)), DEFAULT_MAX_STEPS, s.run);
+        assert!(first.result.is_complete(), "{:?}", first.result);
+        let again = replay(s, &Repro::Seed(42), DEFAULT_MAX_STEPS);
+        assert_eq!(first.schedule_hash, again.schedule_hash);
+        let by_choices = replay(s, &Repro::Choices(first.choices.clone()), DEFAULT_MAX_STEPS);
+        assert_eq!(first.schedule_hash, by_choices.schedule_hash);
+    }
+}

@@ -1,0 +1,353 @@
+//! The five scripted concurrency scenarios the explorer replays.
+//!
+//! Each scenario is a plain `fn()` executed as thread 0 of a controlled
+//! run (see `obr_sync::model::run_controlled`); it spawns its worker
+//! threads through the `obr_sync::thread` facade so every lock, atomic,
+//! and condvar operation becomes a scheduling decision. Scenario bodies
+//! carry their own correctness assertions — a schedule that violates one
+//! surfaces as `RunResult::Panic` with the failing seed attached by the
+//! explorer.
+//!
+//! Determinism rules for scenario bodies: no wall-clock reads, no OS
+//! randomness, explicit shard counts (`BufferPool::with_shards`), and any
+//! file paths derived from a process-local counter.
+
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::Arc;
+
+use obr_core::{SideEntry, SideFile, SideOp};
+use obr_lock::{LockError, LockManager, LockMode, OwnerId, ResourceId};
+use obr_storage::{BufferPool, DiskManager, InMemoryDisk, PageId};
+use obr_sync::thread;
+use obr_wal::{LogManager, LogRecord, TxnId};
+
+/// A named scenario body the explorer can run under any chooser.
+#[derive(Clone, Copy)]
+pub struct Scenario {
+    /// Stable scenario name (used in CLI filters and reports).
+    pub name: &'static str,
+    /// One-line description for the coverage report.
+    pub about: &'static str,
+    /// The body executed as thread 0 of each controlled run.
+    pub run: fn(),
+}
+
+/// All five scenarios, in canonical order.
+pub fn all() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "wal_group_commit",
+            about: "group-commit baton handoff with 3 committers on one log",
+            run: wal_group_commit,
+        },
+        Scenario {
+            name: "wal_watermark_file",
+            about: "durable-watermark publication vs. invariant readers (file-backed)",
+            run: wal_watermark_file,
+        },
+        Scenario {
+            name: "pool_eviction_vs_flush",
+            about: "shard eviction under memory pressure racing flush_pages",
+            run: pool_eviction_vs_flush,
+        },
+        Scenario {
+            name: "sidefile_append_vs_drain",
+            about: "side-file append racing the pass-3 catch-up drain",
+            run: sidefile_append_vs_drain,
+        },
+        Scenario {
+            name: "lock_retry_vs_undo",
+            about: "reorganizer deadlock-retry against a transaction's undo path",
+            run: lock_retry_vs_undo,
+        },
+    ]
+}
+
+/// Looks a scenario up by name.
+pub fn by_name(name: &str) -> Option<Scenario> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+fn rec(txn: u64, key: u64) -> LogRecord {
+    LogRecord::TxnInsert {
+        txn: TxnId(txn),
+        page: PageId(1),
+        key,
+        value: vec![0xAB; 8],
+        prev_lsn: obr_storage::Lsn::ZERO,
+    }
+}
+
+/// Scenario 1: K committers append and force concurrently; exactly the
+/// group-commit baton protocol of `LogManager::flush_to`. Asserts every
+/// committer's target is durable when its flush returns and that the
+/// final watermark covers everything appended.
+fn wal_group_commit() {
+    let log = Arc::new(LogManager::new());
+    let handles: Vec<_> = (0..3u64)
+        .map(|t| {
+            let log = Arc::clone(&log);
+            thread::spawn(move || {
+                let mut last = obr_storage::Lsn::ZERO;
+                for i in 0..2u64 {
+                    last = log.append(&rec(t, t * 10 + i));
+                }
+                log.flush_to(last);
+                let durable = log.durable_lsn();
+                assert!(
+                    durable >= last,
+                    "committer {t}: flush_to({last:?}) returned with durable={durable:?}"
+                );
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        log.durable_lsn(),
+        obr_storage::Lsn(6),
+        "all 6 records durable"
+    );
+    assert!(log.durable_is_written());
+}
+
+static FILE_SCENARIO_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Scenario 2: a writer appends and flushes a file-backed log while a
+/// reader repeatedly checks the torn-watermark invariant: every LSN at or
+/// below the published durable watermark must already be on disk. The
+/// clean build holds this in every interleaving; the sabotage build
+/// (`OBR_BUG_EARLY_WATERMARK=1`, model cfg only) publishes the watermark
+/// before the write and some schedule catches it — that is the explorer's
+/// teeth test.
+fn wal_watermark_file() {
+    // relaxed: run-local file-name uniqueness counter; deliberately a raw
+    // std atomic so it is invisible to the model scheduler (it must not
+    // add scheduling decisions or vary between schedules).
+    let n = FILE_SCENARIO_RUNS.fetch_add(1, StdOrdering::Relaxed);
+    let path = std::env::temp_dir().join(format!("obr-race-wal-{}-{n}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let log = Arc::new(LogManager::open_file(&path).expect("open file-backed log"));
+    let writer = {
+        let log = Arc::clone(&log);
+        thread::spawn(move || {
+            let a = log.append(&rec(1, 1));
+            log.flush_to(a);
+            let b = log.append(&rec(1, 2));
+            log.flush_to(b);
+        })
+    };
+    let reader = {
+        let log = Arc::clone(&log);
+        thread::spawn(move || {
+            for _ in 0..4 {
+                assert!(
+                    log.durable_is_written(),
+                    "durable watermark published before the batch reached the file"
+                );
+                thread::yield_now();
+            }
+        })
+    };
+    writer.join().unwrap();
+    reader.join().unwrap();
+    assert!(log.durable_is_written());
+    drop(log);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Scenario 3: a tiny pool (capacity 2, 2 shards) forces evictions while
+/// a second thread flushes pages by id. Asserts residency never exceeds
+/// capacity and that every written page's first byte reaches the disk
+/// image after the final flush. A WAL is attached so every write-back
+/// exercises the production WAL-before-data hook (and its lock nesting:
+/// frame latch → wal hook → log internals).
+///
+/// This scenario caught a real lost-write window: `FrameGuard::write`
+/// used to set the dirty bit *before* taking the data latch, so a
+/// flusher could write the old image and clear the bit, after which the
+/// guarded modification sat in a clean-marked frame that eviction
+/// dropped without write-back.
+fn pool_eviction_vs_flush() {
+    let disk = Arc::new(InMemoryDisk::new(8));
+    let pool = Arc::new(BufferPool::with_shards(disk.clone(), 2, 2));
+    let log = Arc::new(LogManager::new());
+    pool.set_wal(Arc::clone(&log) as Arc<dyn obr_storage::WalFlush>);
+    let writer = {
+        let pool = Arc::clone(&pool);
+        let log = Arc::clone(&log);
+        thread::spawn(move || {
+            for p in 0..4u32 {
+                let lsn = log.append(&rec(9, u64::from(p)));
+                let g = pool.fetch_new(PageId(p)).expect("fetch_new");
+                {
+                    let mut pg = g.write();
+                    pg.body_mut()[0] = 0x40 + p as u8;
+                    // A real LSN makes every write-back enforce the
+                    // WAL-before-data rule through the hook.
+                    pg.set_lsn(lsn);
+                }
+                drop(g);
+                assert!(
+                    pool.resident() <= 2,
+                    "resident {} > capacity",
+                    pool.resident()
+                );
+            }
+        })
+    };
+    let flusher = {
+        let pool = Arc::clone(&pool);
+        thread::spawn(move || {
+            for _ in 0..2 {
+                pool.flush_pages(&[PageId(0), PageId(1), PageId(2), PageId(3)])
+                    .expect("flush_pages");
+            }
+        })
+    };
+    writer.join().unwrap();
+    flusher.join().unwrap();
+    pool.flush_all().expect("flush_all");
+    for p in 0..4u32 {
+        let img = disk.read_page(PageId(p)).expect("read back");
+        assert_eq!(
+            img.body()[0],
+            0x40 + p as u8,
+            "page {p} lost its write across eviction/flush"
+        );
+    }
+}
+
+/// Scenario 4: one thread appends side-file entries (reorganizer pass 2)
+/// while another drains them front-to-back (pass-3 catch-up). Asserts
+/// the drain sees every appended entry exactly once, in order.
+fn sidefile_append_vs_drain() {
+    let log = Arc::new(LogManager::new());
+    let side = Arc::new(SideFile::new(Arc::clone(&log)));
+    let done = Arc::new(obr_sync::atomic::AtomicBool::new(false));
+    let appender = {
+        let side = Arc::clone(&side);
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            for k in 0..4u64 {
+                side.append(
+                    TxnId(7),
+                    SideEntry {
+                        key: k,
+                        op: SideOp::Upsert(PageId(2)),
+                    },
+                );
+            }
+            done.store(true, obr_sync::atomic::Ordering::Release);
+        })
+    };
+    let drainer = {
+        let side = Arc::clone(&side);
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            let mut drained = Vec::new();
+            loop {
+                if let Some((seq, entry)) = side.pop_front(TxnId(8)) {
+                    drained.push((seq, entry.key));
+                } else if done.load(obr_sync::atomic::Ordering::Acquire) && side.is_empty() {
+                    break;
+                } else {
+                    thread::yield_now();
+                }
+            }
+            drained
+        })
+    };
+    appender.join().unwrap();
+    let drained = drainer.join().unwrap();
+    assert_eq!(drained.len(), 4, "drain must see every appended entry");
+    let keys: Vec<u64> = drained.iter().map(|(_, k)| *k).collect();
+    assert_eq!(
+        keys,
+        vec![0, 1, 2, 3],
+        "catch-up must apply in append order"
+    );
+    assert!(side.is_empty());
+    // 4 inserts + 4 deletes hit the log.
+    assert_eq!(log.len(), 8, "every append and drain is logged");
+}
+
+/// Scenario 5: the reorganizer daemon's deadlock-retry protocol against a
+/// transaction acquiring the same two pages in the opposite order (the
+/// undo path's reverse traversal). The reorganizer is the registered —
+/// and therefore preferred — deadlock victim: it must be the one that
+/// backs off, and both sides must finish with the lock table empty.
+fn lock_retry_vs_undo() {
+    let m = Arc::new(LockManager::new());
+    let reorg = OwnerId(100);
+    let txn = OwnerId(1);
+    m.register_reorganizer(reorg);
+    let reorg_h = {
+        let m = Arc::clone(&m);
+        thread::spawn(move || {
+            let mut retries = 0u32;
+            loop {
+                match m
+                    .lock(reorg, ResourceId::Page(1), LockMode::RX)
+                    .and_then(|()| m.lock(reorg, ResourceId::Page(2), LockMode::RX))
+                {
+                    Ok(()) => break,
+                    Err(
+                        LockError::Deadlock
+                        | LockError::Timeout
+                        | LockError::WouldBlock
+                        | LockError::ConflictsWithReorg,
+                    ) => {
+                        // Daemon protocol: drop everything and retry.
+                        m.release_all(reorg);
+                        retries += 1;
+                        assert!(retries < 32, "reorganizer retried forever");
+                        thread::yield_now();
+                    }
+                    Err(e) => panic!("unexpected lock error: {e:?}"),
+                }
+            }
+            m.release_all(reorg);
+            retries
+        })
+    };
+    let txn_h = {
+        let m = Arc::clone(&m);
+        thread::spawn(move || {
+            let mut retries = 0u32;
+            loop {
+                match m
+                    .lock(txn, ResourceId::Page(2), LockMode::X)
+                    .and_then(|()| m.lock(txn, ResourceId::Page(1), LockMode::X))
+                {
+                    Ok(()) => break,
+                    Err(
+                        LockError::Deadlock
+                        | LockError::Timeout
+                        | LockError::WouldBlock
+                        | LockError::ConflictsWithReorg,
+                    ) => {
+                        m.release_all(txn);
+                        retries += 1;
+                        assert!(retries < 32, "transaction retried forever");
+                        thread::yield_now();
+                    }
+                    Err(e) => panic!("unexpected lock error: {e:?}"),
+                }
+            }
+            // Undo complete: roll back releases in reverse order.
+            m.unlock(txn, ResourceId::Page(1));
+            m.unlock(txn, ResourceId::Page(2));
+            retries
+        })
+    };
+    reorg_h.join().unwrap();
+    txn_h.join().unwrap();
+    assert!(m.held_resources(reorg).is_empty());
+    assert!(m.held_resources(txn).is_empty());
+    assert!(
+        m.validate_invariants().is_empty(),
+        "lock table invariants violated after retry storm"
+    );
+}

@@ -1,0 +1,58 @@
+//! Sabotage-teeth test: proves the explorer can actually catch an
+//! ordering bug, not just run green forever.
+//!
+//! `OBR_BUG_EARLY_WATERMARK=1` (model builds only) makes the WAL's
+//! elected flusher publish the durable watermark *before* writing and
+//! fsyncing the batch — the canonical torn-watermark ordering bug. The
+//! `wal_watermark_file` scenario's reader asserts the watermark
+//! invariant on every schedule, so a modest seeded sweep must find a
+//! failing interleaving with the sabotage on, and must stay clean with
+//! it off. If the sabotaged sweep ever comes back green, the explorer
+//! has lost its teeth and CI must fail.
+
+#![cfg(obr_model)]
+
+use obr_race::explore::{run_random, DEFAULT_MAX_STEPS};
+use obr_race::scenarios;
+
+const SWEEP: u64 = 400;
+
+#[test]
+fn early_watermark_sabotage_is_caught_and_clean_build_passes() {
+    let scenario = scenarios::by_name("wal_watermark_file").unwrap();
+
+    // Phase 1: sabotage on — some schedule must observe the torn
+    // watermark. One env-mutating test per binary; phases must stay
+    // sequential in this order so the clean phase also proves the flag
+    // reset took effect.
+    std::env::set_var("OBR_BUG_EARLY_WATERMARK", "1");
+    let sabotaged = run_random(scenario, 1, SWEEP, DEFAULT_MAX_STEPS);
+    std::env::remove_var("OBR_BUG_EARLY_WATERMARK");
+    let failure = sabotaged
+        .failure
+        .expect("sabotaged build ran a full sweep without catching the early watermark");
+    let msg = format!("{:?}", failure.result);
+    assert!(
+        msg.contains("watermark"),
+        "failure must be the watermark assertion, got: {msg}"
+    );
+
+    // Determinism: replaying the failing repro reproduces the failure.
+    let replay = obr_race::explore::replay(scenario, &failure.repro, DEFAULT_MAX_STEPS);
+    // (The sabotage env var is off now, so the replayed schedule differs
+    // in outcome — it must now PASS, proving the bug, not the harness,
+    // caused the failure.)
+    assert!(
+        replay.result.is_complete(),
+        "with sabotage off the same schedule must pass, got {:?}",
+        replay.result
+    );
+
+    // Phase 2: clean build — the whole sweep must pass.
+    let clean = run_random(scenario, 1, SWEEP, DEFAULT_MAX_STEPS);
+    assert!(
+        clean.failure.is_none(),
+        "clean build failed: {:?}",
+        clean.failure
+    );
+}

@@ -35,12 +35,12 @@
 //! first) reaches disk, all volatile state is dropped, the disk and the log
 //! survive.
 
+use obr_sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use obr_obs::{Counter, Gauge, Registry};
-use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use obr_sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::disk::DiskManager;
 use crate::error::{StorageError, StorageResult};
@@ -131,9 +131,21 @@ impl FrameGuard {
     }
 
     /// Exclusive latch; marks the frame dirty.
+    ///
+    /// The dirty bit is set *after* the latch is held. Setting it before
+    /// opened a lost-write window (found by the `obr-race` interleaving
+    /// explorer, scenario `pool_eviction_vs_flush`): a flusher could see
+    /// the early dirty bit, win the data latch, write the *old* image,
+    /// and clear the bit — leaving this guard's subsequent modification
+    /// in a clean-marked frame that eviction then dropped without
+    /// write-back. With the store under the latch, any flusher that
+    /// clears the bit has already copied out every modification made
+    /// before it, and any modification made after it re-dirties the
+    /// frame.
     pub fn write(&self) -> RwLockWriteGuard<'_, Page> {
+        let guard = self.frame.data.write();
         self.frame.dirty.store(true, Ordering::Release);
-        self.frame.data.write()
+        guard
     }
 }
 
@@ -186,8 +198,8 @@ impl BufferPool {
         let n = shards.next_power_of_two().min(MAX_POOL_SHARDS);
         let shards: Box<[Shard]> = (0..n)
             .map(|_| Shard {
-                frames: Mutex::new(HashMap::new()),
-                deps: Mutex::new(HashMap::new()),
+                frames: Mutex::named(HashMap::new(), "pool.shard.frames"),
+                deps: Mutex::named(HashMap::new(), "pool.shard.deps"),
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
                 evictions: AtomicU64::new(0),
@@ -199,7 +211,7 @@ impl BufferPool {
             shard_mask: n - 1,
             shards,
             resident: AtomicUsize::new(0),
-            wal: RwLock::new(None),
+            wal: RwLock::named(None, "pool.wal_hook"),
             clock: AtomicU64::new(0),
             metrics: PoolMetrics::default(),
         }
@@ -225,6 +237,8 @@ impl BufferPool {
             .map(|(i, s)| ShardStats {
                 shard: i,
                 resident: s.frames.lock().len(),
+                // relaxed: statistics snapshot; values are monotonic
+                // counters and readers tolerate slight staleness.
                 hits: s.hits.load(Ordering::Relaxed),
                 misses: s.misses.load(Ordering::Relaxed),
                 evictions: s.evictions.load(Ordering::Relaxed),
@@ -269,6 +283,9 @@ impl BufferPool {
     }
 
     fn touch(&self, frame: &Frame) {
+        // relaxed: the clock is only a monotonic recency source and
+        // last_used an eviction hint; a stale read picks a slightly
+        // worse victim, never an incorrect one.
         frame.last_used.store(
             self.clock.fetch_add(1, Ordering::Relaxed),
             Ordering::Relaxed,
@@ -294,6 +311,7 @@ impl BufferPool {
                 if let Some(frame) = frames.get(&id) {
                     frame.pin.fetch_add(1, Ordering::AcqRel);
                     self.touch(frame);
+                    // relaxed: hit counter is observability-only.
                     shard.hits.fetch_add(1, Ordering::Relaxed);
                     self.metrics.hits.inc();
                     return Ok(FrameGuard {
@@ -333,6 +351,7 @@ impl BufferPool {
             self.resident.fetch_sub(1, Ordering::AcqRel);
             frame.pin.fetch_add(1, Ordering::AcqRel);
             self.touch(frame);
+            // relaxed: hit counter is observability-only.
             shard.hits.fetch_add(1, Ordering::Relaxed);
             self.metrics.hits.inc();
             return Ok(FrameGuard {
@@ -341,13 +360,15 @@ impl BufferPool {
         }
         let frame = Arc::new(Frame {
             id,
-            data: RwLock::new(page),
+            data: RwLock::named(page, "pool.frame.data"),
             pin: AtomicU32::new(1),
             dirty: AtomicBool::new(!read_from_disk),
+            // relaxed: clock tick is a recency hint (see touch()).
             last_used: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
         });
         self.touch(&frame);
         frames.insert(id, Arc::clone(&frame));
+        // relaxed: miss counter is observability-only.
         shard.misses.fetch_add(1, Ordering::Relaxed);
         self.metrics.misses.inc();
         self.metrics.resident.set(self.resident() as u64);
@@ -367,6 +388,8 @@ impl BufferPool {
             let frames = shard.frames.lock();
             for f in frames.values() {
                 if f.pin.load(Ordering::Acquire) == 0 {
+                    // relaxed: recency hint read under the shard frames
+                    // lock; staleness only affects victim quality.
                     let lu = f.last_used.load(Ordering::Relaxed);
                     if victim.is_none_or(|(best, _)| lu < best) {
                         victim = Some((lu, f.id));
@@ -385,6 +408,7 @@ impl BufferPool {
             if f.pin.load(Ordering::Acquire) == 0 && !f.dirty.load(Ordering::Acquire) {
                 frames.remove(&victim);
                 self.resident.fetch_sub(1, Ordering::AcqRel);
+                // relaxed: eviction counter is observability-only.
                 shard.evictions.fetch_add(1, Ordering::Relaxed);
                 self.metrics.evictions.inc();
                 self.metrics.resident.set(self.resident() as u64);
@@ -843,7 +867,7 @@ mod tests {
 
     #[test]
     fn wal_hook_called_before_page_write() {
-        use std::sync::atomic::AtomicU64;
+        use obr_sync::atomic::AtomicU64;
         struct Probe {
             max_flushed: AtomicU64,
         }

@@ -9,12 +9,12 @@
 //! [`FileDisk`] stores the same images in a real file for durability-shaped
 //! testing.
 
+use obr_sync::atomic::{AtomicU64, Ordering};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use obr_sync::Mutex;
 
 use crate::error::{StorageError, StorageResult};
 use crate::page::{Page, PageId, PAGE_SIZE};
@@ -127,7 +127,7 @@ impl InMemoryDisk {
     /// Create a disk that sleeps `latency` on every page read/write.
     pub fn with_latency(pages: u32, latency: std::time::Duration) -> InMemoryDisk {
         InMemoryDisk {
-            pages: Mutex::new((0..pages).map(|_| Page::new()).collect()),
+            pages: Mutex::named((0..pages).map(|_| Page::new()).collect(), "disk.pages"),
             counters: StatCounters::default(),
             latency,
         }
@@ -209,7 +209,7 @@ impl FileDisk {
         let total = existing.max(pages);
         file.set_len(total as u64 * PAGE_SIZE as u64)?;
         Ok(FileDisk {
-            file: Mutex::new(file),
+            file: Mutex::named(file, "disk.file"),
             num_pages: AtomicU64::new(total as u64),
             counters: StatCounters::default(),
         })

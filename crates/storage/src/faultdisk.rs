@@ -19,10 +19,10 @@
 //! so tests can drive the engine's error paths through the same trait
 //! boundary the checker observes.
 
-use std::sync::atomic::{AtomicI64, Ordering};
+use obr_sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use obr_sync::Mutex;
 
 use crate::disk::{DiskManager, DiskStats, InMemoryDisk};
 use crate::error::{StorageError, StorageResult};
@@ -87,13 +87,16 @@ impl JournalDisk {
     pub fn new(inner: Arc<dyn DiskManager>) -> JournalDisk {
         JournalDisk {
             inner,
-            witness: Mutex::new(None),
-            state: Mutex::new(JournalState {
-                recording: false,
-                base: Vec::new(),
-                base_pages: 0,
-                entries: Vec::new(),
-            }),
+            witness: Mutex::named(None, "disk.witness"),
+            state: Mutex::named(
+                JournalState {
+                    recording: false,
+                    base: Vec::new(),
+                    base_pages: 0,
+                    entries: Vec::new(),
+                },
+                "disk.journal",
+            ),
             fail_in: AtomicI64::new(-1),
         }
     }

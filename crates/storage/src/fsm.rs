@@ -8,7 +8,7 @@
 //! `(L, C)`. Baseline policies (first-free anywhere, random) are also served
 //! from here so experiment E3 can compare them.
 
-use parking_lot::Mutex;
+use obr_sync::Mutex;
 
 use crate::page::PageId;
 
@@ -47,22 +47,28 @@ impl FreeSpaceMap {
     /// Create a map over `pages` pages, all initially allocated.
     pub fn new_all_allocated(pages: u32) -> FreeSpaceMap {
         FreeSpaceMap {
-            inner: Mutex::new(Inner {
-                free: vec![false; pages as usize],
-                free_count: 0,
-                leaf_boundary: 0,
-            }),
+            inner: Mutex::named(
+                Inner {
+                    free: vec![false; pages as usize],
+                    free_count: 0,
+                    leaf_boundary: 0,
+                },
+                "fsm.state",
+            ),
         }
     }
 
     /// Create a map over `pages` pages, all initially free.
     pub fn new_all_free(pages: u32) -> FreeSpaceMap {
         FreeSpaceMap {
-            inner: Mutex::new(Inner {
-                free: vec![true; pages as usize],
-                free_count: pages as usize,
-                leaf_boundary: 0,
-            }),
+            inner: Mutex::named(
+                Inner {
+                    free: vec![true; pages as usize],
+                    free_count: pages as usize,
+                    leaf_boundary: 0,
+                },
+                "fsm.state",
+            ),
         }
     }
 

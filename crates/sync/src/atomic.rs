@@ -1,0 +1,16 @@
+//! Atomics facade.
+//!
+//! Normal builds re-export `std::sync::atomic` verbatim — zero cost, zero
+//! behavior change. Model builds substitute wrapper types that report
+//! every `load`/`store`/RMW (with its declared [`Ordering`]) to the
+//! cooperative scheduler as a yield point, so the interleaving explorer
+//! can reorder atomic operations across threads and the trace records
+//! which orderings the code actually relies on.
+
+#[cfg(not(obr_model))]
+pub use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+#[cfg(obr_model)]
+pub use crate::modeled::atomic::{
+    AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+};

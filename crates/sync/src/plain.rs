@@ -1,0 +1,203 @@
+//! Zero-cost passthrough implementation used in normal (non-model) builds.
+//!
+//! Every type is a `#[repr(transparent)]`-in-spirit newtype over the
+//! in-repo `parking_lot` shim with `#[inline]` delegation, so the
+//! optimizer collapses the facade entirely. Lock-class names accepted by
+//! the `named` constructors are discarded here; they only matter to the
+//! model scheduler.
+
+use std::time::Instant;
+
+/// A mutual-exclusion lock (passthrough over `parking_lot::Mutex`).
+pub struct Mutex<T> {
+    inner: parking_lot::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = parking_lot::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates an anonymous mutex.
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// Creates a mutex tagged with a lock-class name for the model
+    /// scheduler's lock-order graph. Free in normal builds.
+    #[inline]
+    pub const fn named(value: T, _class: &'static str) -> Self {
+        Self::new(value)
+    }
+
+    /// Acquires the mutex, blocking until it is available.
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock()
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    #[inline]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        self.inner.try_lock()
+    }
+
+    /// Returns a mutable reference to the protected value (no locking
+    /// needed — `&mut self` proves exclusivity).
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    #[inline]
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// A reader-writer lock (passthrough over `parking_lot::RwLock`).
+pub struct RwLock<T> {
+    inner: parking_lot::RwLock<T>,
+}
+
+/// RAII shared-read guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = parking_lot::RwLockReadGuard<'a, T>;
+/// RAII exclusive-write guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = parking_lot::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates an anonymous reader-writer lock.
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: parking_lot::RwLock::new(value),
+        }
+    }
+
+    /// Creates a reader-writer lock tagged with a lock-class name for the
+    /// model scheduler's lock-order graph. Free in normal builds.
+    #[inline]
+    pub const fn named(value: T, _class: &'static str) -> Self {
+        Self::new(value)
+    }
+
+    /// Acquires shared read access, blocking until no writer holds the lock.
+    #[inline]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read()
+    }
+
+    /// Acquires exclusive write access, blocking until the lock is free.
+    #[inline]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write()
+    }
+
+    /// Returns a mutable reference to the protected value.
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+
+    /// Consumes the lock, returning the protected value.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    #[inline]
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Result of a timed condition-variable wait.
+pub struct WaitTimeoutResult {
+    inner: parking_lot::WaitTimeoutResult,
+}
+
+impl WaitTimeoutResult {
+    /// True when the wait returned because the deadline passed rather than
+    /// because the condvar was notified.
+    #[inline]
+    pub fn timed_out(&self) -> bool {
+        self.inner.timed_out()
+    }
+}
+
+/// A condition variable (passthrough over `parking_lot::Condvar`).
+pub struct Condvar {
+    inner: parking_lot::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    #[inline]
+    pub const fn new() -> Self {
+        Self {
+            inner: parking_lot::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the guard's mutex and parks until notified,
+    /// reacquiring the mutex before returning.
+    #[inline]
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.inner.wait(guard);
+    }
+
+    /// Like [`Condvar::wait`] but gives up at `deadline`.
+    #[inline]
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        WaitTimeoutResult {
+            inner: self.inner.wait_until(guard, deadline),
+        }
+    }
+
+    /// Wakes one waiter, if any.
+    #[inline]
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    #[inline]
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    #[inline]
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,46 @@
+//! Thread-spawn facade.
+//!
+//! Normal builds delegate to `std::thread`. Model builds register each
+//! spawned thread with the current scheduler (when one is installed) so
+//! its yield points are interleaved deterministically; threads spawned
+//! outside a controlled scenario fall through to plain `std::thread`.
+
+#[cfg(not(obr_model))]
+mod imp {
+    /// Handle to a spawned facade thread; `join` returns the closure's
+    /// result like `std::thread::JoinHandle`.
+    pub struct JoinHandle<T> {
+        inner: std::thread::JoinHandle<T>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish and returns its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Spawns a thread, passing straight through to `std::thread::spawn`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        JoinHandle {
+            inner: std::thread::spawn(f),
+        }
+    }
+
+    /// Hints the OS scheduler to run another thread (passthrough to
+    /// `std::thread::yield_now`).
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(obr_model)]
+mod imp {
+    pub use crate::model::thread_impl::{spawn, yield_now, JoinHandle};
+}
+
+pub use imp::{spawn, yield_now, JoinHandle};

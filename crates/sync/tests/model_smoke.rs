@@ -1,0 +1,237 @@
+//! Scheduler smoke tests, compiled only under `--cfg obr_model`.
+#![cfg(obr_model)]
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use obr_sync::atomic::{AtomicU64, Ordering};
+use obr_sync::model::{run_controlled, PrefixChooser, RandomChooser, RunResult};
+use obr_sync::{thread, Condvar, Mutex};
+
+#[test]
+fn counter_is_race_free_across_seeds() {
+    for seed in 0..40u64 {
+        let report = run_controlled(Box::new(RandomChooser::new(seed)), 10_000, || {
+            let n = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let n = n.clone();
+                    thread::spawn(move || {
+                        for _ in 0..4 {
+                            n.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 12);
+        });
+        assert!(
+            report.result.is_complete(),
+            "seed {seed}: {:?}",
+            report.result
+        );
+    }
+}
+
+#[test]
+fn same_seed_same_schedule() {
+    let run = |seed| {
+        run_controlled(Box::new(RandomChooser::new(seed)), 10_000, || {
+            let m = Arc::new(Mutex::named(0u32, "test.m"));
+            let hs: Vec<_> = (0..3)
+                .map(|_| {
+                    let m = m.clone();
+                    thread::spawn(move || {
+                        *m.lock() += 1;
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(*m.lock(), 3);
+        })
+    };
+    let a = run(7);
+    let b = run(7);
+    let c = run(8);
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a.schedule_hash, b.schedule_hash);
+    // Different seeds should find at least one different schedule over a
+    // couple of tries (not guaranteed per-seed, but 7 vs 8 diverge here).
+    assert!(a.schedule_hash != c.schedule_hash || a.schedule == c.schedule);
+}
+
+#[test]
+fn seeds_cover_many_distinct_schedules() {
+    let mut seen = HashSet::new();
+    for seed in 0..64u64 {
+        let report = run_controlled(Box::new(RandomChooser::new(seed)), 10_000, || {
+            let m = Arc::new(Mutex::new(Vec::new()));
+            let hs: Vec<_> = (0..3)
+                .map(|i| {
+                    let m = m.clone();
+                    thread::spawn(move || {
+                        m.lock().push(i);
+                        m.lock().push(i * 10);
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+        });
+        assert!(report.result.is_complete());
+        seen.insert(report.schedule_hash);
+    }
+    assert!(seen.len() > 8, "only {} distinct schedules", seen.len());
+}
+
+#[test]
+fn replaying_choices_reproduces_schedule() {
+    let orig = run_controlled(Box::new(RandomChooser::new(42)), 10_000, || {
+        let m = Arc::new(Mutex::new(0u32));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let m = m.clone();
+                thread::spawn(move || {
+                    *m.lock() += 1;
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+    });
+    let replay = run_controlled(
+        Box::new(PrefixChooser::new(orig.choices.clone())),
+        10_000,
+        || {
+            let m = Arc::new(Mutex::new(0u32));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = m.clone();
+                    thread::spawn(move || {
+                        *m.lock() += 1;
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+        },
+    );
+    assert_eq!(orig.schedule, replay.schedule);
+}
+
+#[test]
+fn deadlock_is_detected() {
+    let report = run_controlled(Box::new(RandomChooser::new(3)), 10_000, || {
+        let a = Arc::new(Mutex::named(0u32, "test.a"));
+        let b = Arc::new(Mutex::named(0u32, "test.b"));
+        let (a2, b2) = (a.clone(), b.clone());
+        let h = thread::spawn(move || {
+            let _g1 = b2.lock();
+            thread::yield_now();
+            let _g2 = a2.lock();
+        });
+        let _g1 = a.lock();
+        thread::yield_now();
+        let _g2 = b.lock();
+        drop(_g2);
+        drop(_g1);
+        let _ = h.join();
+    });
+    // Some schedules deadlock (a then b vs b then a), others complete;
+    // across enough seeds the deadlock must show up. Seed 3 finds it —
+    // pinned by the determinism test above.
+    match report.result {
+        RunResult::Deadlock { ref detail } => {
+            assert!(detail.contains("test.a") || detail.contains("test.b"));
+        }
+        RunResult::Complete => {
+            // Acceptable for this seed; verify a deadlock exists somewhere.
+            let mut found = false;
+            for seed in 0..50 {
+                let r = run_controlled(Box::new(RandomChooser::new(seed)), 10_000, || {
+                    let a = Arc::new(Mutex::named(0u32, "test.a"));
+                    let b = Arc::new(Mutex::named(0u32, "test.b"));
+                    let (a2, b2) = (a.clone(), b.clone());
+                    let h = thread::spawn(move || {
+                        let _g1 = b2.lock();
+                        thread::yield_now();
+                        let _g2 = a2.lock();
+                    });
+                    let _g1 = a.lock();
+                    thread::yield_now();
+                    let _g2 = b.lock();
+                    drop(_g2);
+                    drop(_g1);
+                    let _ = h.join();
+                });
+                if matches!(r.result, RunResult::Deadlock { .. }) {
+                    found = true;
+                    break;
+                }
+            }
+            assert!(found, "no seed found the a/b deadlock");
+        }
+        other => panic!("unexpected result {other:?}"),
+    }
+}
+
+#[test]
+fn assertion_failures_are_reported_as_panics() {
+    let report = run_controlled(Box::new(RandomChooser::new(1)), 10_000, || {
+        let h = thread::spawn(|| panic!("boom from child"));
+        let _ = h.join();
+    });
+    match report.result {
+        RunResult::Panic { message, .. } => assert!(message.contains("boom")),
+        other => panic!("expected panic result, got {other:?}"),
+    }
+}
+
+#[test]
+fn condvar_handoff_completes() {
+    for seed in 0..30u64 {
+        let report = run_controlled(Box::new(RandomChooser::new(seed)), 10_000, || {
+            let pair = Arc::new((Mutex::named(false, "test.flag"), Condvar::new()));
+            let p2 = pair.clone();
+            let h = thread::spawn(move || {
+                let (m, cv) = &*p2;
+                let mut g = m.lock();
+                while !*g {
+                    cv.wait(&mut g);
+                }
+            });
+            {
+                let (m, cv) = &*pair;
+                *m.lock() = true;
+                cv.notify_one();
+            }
+            h.join().unwrap();
+        });
+        assert!(
+            report.result.is_complete(),
+            "seed {seed}: {:?}",
+            report.result
+        );
+    }
+}
+
+#[test]
+fn lock_order_edges_are_recorded() {
+    let report = run_controlled(Box::new(RandomChooser::new(5)), 10_000, || {
+        let outer = Mutex::named(0u32, "test.outer");
+        let inner = Mutex::named(0u32, "test.inner");
+        let _a = outer.lock();
+        let _b = inner.lock();
+    });
+    assert!(report.result.is_complete());
+    assert!(report.edges.contains(&("test.outer", "test.inner")));
+    assert!(!report.edges.contains(&("test.inner", "test.outer")));
+}

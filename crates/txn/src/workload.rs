@@ -3,7 +3,7 @@
 //! multi-threaded open-loop driver measuring throughput and blocked time
 //! while reorganization runs (E4).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use obr_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

@@ -32,14 +32,14 @@
 //! Per-kind byte accounting feeds experiment E6 (reorganization log volume
 //! under the three logging strategies).
 
+use obr_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use obr_obs::{Counter, Gauge, Histogram, Registry};
-use parking_lot::{Condvar, Mutex};
+use obr_sync::{Condvar, Mutex};
 
 use obr_storage::{Lsn, StorageResult, WalFlush};
 
@@ -194,17 +194,30 @@ impl Default for LogManager {
     }
 }
 
+/// Test-only sabotage switch (model builds only): when
+/// `OBR_BUG_EARLY_WATERMARK=1`, the elected flusher publishes the durable
+/// watermark *before* writing and fsyncing the batch. This exists solely
+/// so the interleaving explorer can prove it catches torn-watermark
+/// ordering bugs; it is never set outside `obr-race`'s teeth tests.
+#[cfg(obr_model)]
+fn sabotage_early_watermark() -> bool {
+    std::env::var_os("OBR_BUG_EARLY_WATERMARK").is_some_and(|v| v == "1")
+}
+
 impl LogManager {
     fn assemble(mem: LogMem, file: Option<File>, durable: Lsn) -> LogManager {
         let file_next = Lsn(durable.0 + 1);
         LogManager {
-            mem: Mutex::new(mem),
-            dur: Mutex::new(DurControl {
-                flushing: false,
-                requested: durable,
-            }),
+            mem: Mutex::named(mem, "wal.mem"),
+            dur: Mutex::named(
+                DurControl {
+                    flushing: false,
+                    requested: durable,
+                },
+                "wal.dur",
+            ),
             dur_cv: Condvar::new(),
-            io: Mutex::new(IoState { file, file_next }),
+            io: Mutex::named(IoState { file, file_next }, "wal.io"),
             durable: AtomicU64::new(durable.0),
             group_commit: AtomicBool::new(true),
             metrics: WalMetrics::default(),
@@ -356,11 +369,32 @@ impl LogManager {
         d.flushing = true;
         let batch = d.requested;
         drop(d);
+        #[cfg(obr_model)]
+        if sabotage_early_watermark() {
+            // Injected ordering bug (teeth test only): publish the
+            // durable watermark BEFORE the data hits the file. Readers
+            // observing `durable_lsn` between the store and the fsync see
+            // a watermark covering bytes that do not exist yet.
+            self.durable.fetch_max(batch.0, Ordering::AcqRel);
+        }
         let batch = self.write_batch(batch);
         self.durable.fetch_max(batch.0, Ordering::AcqRel);
         let mut d = self.dur.lock();
         d.flushing = false;
         self.dur_cv.notify_all();
+    }
+
+    /// True when every LSN at or below the published durable watermark has
+    /// actually been written to the log file (`durable < file_next`).
+    /// Invariant readers (and the model explorer) use this to detect a
+    /// torn watermark publication; memory-backed logs trivially satisfy
+    /// it.
+    pub fn durable_is_written(&self) -> bool {
+        let io = self.io.lock();
+        if io.file.is_none() {
+            return true;
+        }
+        self.durable.load(Ordering::Acquire) < io.file_next.0
     }
 
     /// Write and fsync frames `(file_next..=batch]`, returning the LSN the

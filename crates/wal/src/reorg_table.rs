@@ -10,7 +10,7 @@
 //! three live values at any time — that invariant is preserved here and
 //! observable via [`ReorgStateTable::snapshot`].
 
-use parking_lot::Mutex;
+use obr_sync::Mutex;
 
 use obr_storage::Lsn;
 

@@ -6,7 +6,7 @@
 //! cargo run --example concurrent_reorg
 //! ```
 
-use std::sync::atomic::AtomicBool;
+use obr_sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Duration;
 

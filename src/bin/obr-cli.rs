@@ -4,6 +4,7 @@
 //! obr-cli <dir> [--pages N]
 //! obr-cli check <dir> [--tree] [--locks] [--wal] [--all] [--live]
 //! obr-cli check --crash [--budget N] [--seed S] [--report PATH]
+//! obr-cli check --lint [--root DIR]
 //! obr-cli stats <dir> [--json]
 //! obr-cli stats --workload [--json] [--keep DIR]
 //! obr-cli trace [--out PATH]
@@ -14,15 +15,27 @@
 //! Data is durable across runs (pages + WAL live under `<dir>`; recovery
 //! runs on startup).
 //!
-//! `check` runs the static analyzers of [`obr::check`] against the files
-//! under `<dir>` *without opening the database*: the tree fsck over
-//! `pages.db`, the WAL linter over `wal.log`, and the lock-protocol model
-//! checker (which needs no files at all). `check --crash` instead runs the
-//! exhaustive crash-consistency checker over its scripted workloads —
-//! every WAL-prefix crash state, or a deterministic `--budget`/`--seed`
-//! sample for CI. All check modes exit non-zero only when a checker
-//! reports an *error*-severity finding; warnings are printed but do not
-//! fail the run.
+//! `check` has four modes, all sharing one exit-code contract (0 = clean
+//! or warnings only, 1 = at least one error-severity finding, 2 = usage or
+//! I/O problem before any checking ran):
+//!
+//! | mode              | what it checks                                     |
+//! |-------------------|----------------------------------------------------|
+//! | `check <dir>`     | files under `<dir>` without opening the database:  |
+//! |                   | tree fsck over `pages.db` (`--tree`), WAL linter   |
+//! |                   | over `wal.log` (`--wal`), lock-protocol model      |
+//! |                   | checker (`--locks`, needs no files); default `--all` |
+//! | `check <dir> --live` | opens and recovers the database, then walks the |
+//! |                   | live sharded buffer pool (non-perturbing)          |
+//! | `check --crash`   | exhaustive crash-consistency checker over scripted |
+//! |                   | workloads; `--budget N --seed S` picks a           |
+//! |                   | deterministic sample for CI                        |
+//! | `check --lint`    | concurrency source lint over the workspace tree at |
+//! |                   | `--root DIR` (default `.`): unjustified            |
+//! |                   | `Ordering::Relaxed`, raw `std::sync`/`parking_lot` |
+//! |                   | imports bypassing the `obr-sync` facade, lock      |
+//! |                   | calls inside `unsafe`, undocumented `unsafe`, and  |
+//! |                   | staleness of the lint whitelist itself             |
 //!
 //! `stats` prints the metrics registry — every counter, gauge (with its
 //! peak) and histogram documented in DESIGN.md "Observability" — either as
@@ -46,8 +59,9 @@ use obr::btree::SidePointerMode;
 use obr::core::{recover, Database, ReorgConfig, ReorgTrigger, Reorganizer};
 use obr::txn::{Session, TxnError};
 
-/// `obr-cli check <dir> [--tree] [--locks] [--wal] [--all] [--live]`, or
-/// `obr-cli check --crash [--budget N] [--seed S] [--report PATH]`.
+/// `obr-cli check <dir> [--tree] [--locks] [--wal] [--all] [--live]`,
+/// `obr-cli check --crash [--budget N] [--seed S] [--report PATH]`, or
+/// `obr-cli check --lint [--root DIR]`.
 ///
 /// Selecting no family is the same as `--all`. With `--live` the database is
 /// opened and recovered first, and the tree fsck walks the live sharded
@@ -56,13 +70,20 @@ use obr::txn::{Session, TxnError};
 /// `--crash` needs no `<dir>`: it enumerates crash states of its own
 /// scripted workloads (exhaustive by default; `--budget`/`--seed` pick a
 /// deterministic sample) and optionally writes the full report to
-/// `--report PATH`. Never exits through the shell path: the process status
-/// is the check result, non-zero only for error-severity findings.
+/// `--report PATH`. `--lint` also needs no `<dir>`: it walks the `.rs`
+/// sources under `--root DIR` (default the current directory) with the
+/// concurrency source lint of [`obr::check::lint_sources`] and validates
+/// the `Relaxed`-whitelist with [`obr::check::check_whitelist`]. Never
+/// exits through the shell path: the process status is the check result,
+/// non-zero only for error-severity findings.
 fn run_check(args: &[String]) -> ! {
     const USAGE: &str = "usage: obr-cli check <dir> [--tree] [--locks] [--wal] [--all] [--live]\n\
-                         \x20      obr-cli check --crash [--budget N] [--seed S] [--report PATH]";
+                         \x20      obr-cli check --crash [--budget N] [--seed S] [--report PATH]\n\
+                         \x20      obr-cli check --lint [--root DIR]";
     let mut dir: Option<std::path::PathBuf> = None;
     let (mut tree, mut locks, mut wal, mut live, mut crash) = (false, false, false, false, false);
+    let mut lint = false;
+    let mut root: Option<std::path::PathBuf> = None;
     let mut budget: Option<usize> = None;
     let mut seed: u64 = 1;
     let mut report_path: Option<std::path::PathBuf> = None;
@@ -74,6 +95,14 @@ fn run_check(args: &[String]) -> ! {
             "--wal" => wal = true,
             "--live" => live = true,
             "--crash" => crash = true,
+            "--lint" => lint = true,
+            "--root" => match it.next() {
+                Some(p) => root = Some(std::path::PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a directory\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
             "--all" => {
                 tree = true;
                 locks = true;
@@ -111,6 +140,18 @@ fn run_check(args: &[String]) -> ! {
         }
     }
 
+    if lint {
+        let root = root.unwrap_or_else(|| std::path::PathBuf::from("."));
+        if !root.is_dir() {
+            eprintln!("--root {} is not a directory", root.display());
+            std::process::exit(2);
+        }
+        println!("== concurrency source lint: {}", root.display());
+        let mut report = obr::check::lint_sources(&root);
+        report.merge(obr::check::check_whitelist(&root));
+        print!("{report}");
+        exit_with(&report);
+    }
     if crash {
         println!("== crash-consistency check");
         let opts = obr::check::CrashCheckOptions {

@@ -13,8 +13,8 @@
 //!   three-pass reorganization whose trace-event stream is stable across
 //!   runs; the golden trace-schema test and `obr-cli trace` both use it.
 
+use obr_sync::atomic::AtomicBool;
 use std::path::Path;
-use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -71,7 +71,7 @@ pub fn mixed_reorg_workload(dir: &Path) -> CoreResult<Arc<Database>> {
                 // deadlock give-up (part of the scenario, not a failure)
                 // just means the next one starts sooner.
                 std::thread::sleep(Duration::from_millis(250));
-                while !reorg_stop.load(std::sync::atomic::Ordering::Relaxed) {
+                while !reorg_stop.load(obr_sync::atomic::Ordering::Relaxed) {
                     let cfg = ReorgConfig {
                         stable_interval: 1,
                         ..ReorgConfig::default()
@@ -93,7 +93,7 @@ pub fn mixed_reorg_workload(dir: &Path) -> CoreResult<Arc<Database>> {
                 let mut insert_epoch = true;
                 'epochs: loop {
                     for k in 0..1_024u64 {
-                        if split_stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        if split_stop.load(obr_sync::atomic::Ordering::Relaxed) {
                             break 'epochs;
                         }
                         if insert_epoch {
@@ -106,7 +106,7 @@ pub fn mixed_reorg_workload(dir: &Path) -> CoreResult<Arc<Database>> {
                 }
             });
             run_workload(&db, &wl_a, &stop);
-            split_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            split_stop.store(true, obr_sync::atomic::Ordering::Relaxed);
             reorg.join().expect("pass3 thread");
         });
         // Phase B: sparsify the leaves, then compact them (pass 1) under

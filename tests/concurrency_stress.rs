@@ -3,7 +3,7 @@
 //! Every run must end fsck-clean — these tests are the executable form of
 //! the lock-ordering argument in DESIGN.md's "Concurrency architecture".
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use obr_sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 

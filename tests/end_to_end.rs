@@ -262,7 +262,7 @@ fn baseline_and_ours_produce_identical_data() {
 fn full_reorganization_races_live_transactions() {
     use obr::core::ReorgTrigger;
     use obr::txn::{run_workload, KeyDist, WorkloadConfig};
-    use std::sync::atomic::AtomicBool;
+    use obr_sync::atomic::AtomicBool;
     use std::time::Duration;
 
     let disk = Arc::new(InMemoryDisk::new(32_768));
