@@ -585,7 +585,7 @@ mod crash_tests {
             })
             .collect();
         db.tree().bulk_load(&records, 0.25, 0.9).unwrap();
-        db.checkpoint();
+        db.checkpoint().unwrap();
         let expected = db.tree().collect_all().unwrap();
         let t = TandemReorganizer::new(
             Arc::clone(&db),
@@ -602,7 +602,7 @@ mod crash_tests {
             t.stop.store(true, Ordering::Relaxed);
             h.join().unwrap().unwrap();
         });
-        db.log().flush_all();
+        db.log().flush_all().unwrap();
         db.crash(|p| p.0 % 2 == 0).unwrap();
         let db2 = obr_core::Database::reopen(
             Arc::clone(&disk) as Arc<dyn DiskManager>,

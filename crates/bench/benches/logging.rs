@@ -42,7 +42,7 @@ fn swap_image() -> LogRecord {
 fn append_bounded(log: &LogManager, rec: &LogRecord) -> obr_storage::Lsn {
     let lsn = log.append(rec);
     if log.len() > 20_000 {
-        log.flush_all();
+        log.flush_all().unwrap();
         log.truncate_before(lsn);
     }
     lsn

@@ -290,7 +290,7 @@ pub fn e5_forward_recovery(scale: Scale) -> String {
         let records: Vec<(u64, Vec<u8>)> = (0..n).map(|k| (k, value_for(k, 64))).collect();
         db.tree().bulk_load(&records, 0.25, 0.9).unwrap();
         let expected = db.tree().collect_all().unwrap();
-        db.checkpoint();
+        db.checkpoint().expect("checkpoint");
         let mut preserved = 0u64;
         let mut forward_units = 0usize;
         for c in 0..crashes {
@@ -349,7 +349,7 @@ pub fn e5_forward_recovery(scale: Scale) -> String {
         // --- Baseline: rollback-style (in-flight work lost, restart scan). ---
         let t0 = Instant::now();
         let (_disk2, db2) = sparse_database(32_768, n, 0.25, 64);
-        db2.checkpoint();
+        db2.checkpoint().expect("checkpoint");
         for c in 0..crashes {
             let t = TandemReorganizer::new(
                 Arc::clone(&db2),

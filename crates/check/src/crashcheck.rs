@@ -40,6 +40,21 @@
 //! tail to the record boundary below it — which the boundary enumeration
 //! already verified.
 //!
+//! # Segmented-WAL coverage
+//!
+//! A third scenario runs its workload against a real file-backed
+//! *segmented* log ([`LogManager::open_dir`]) with a small seal threshold,
+//! recycling sealed segments before journaling begins and sealing at least
+//! one more inside the journaled window — so every enumerated crash state
+//! of that scenario straddles seal and recycle boundaries. On top of the
+//! state enumeration, a file-level pass mutates copies of the segment
+//! directory into each crash artifact the layout permits (a torn active
+//! tail, an empty next segment left by a crash mid-seal, a partial oldest-
+//! first recycle) and each corruption it must reject (a missing middle
+//! segment, a torn *sealed* segment), asserting [`LogManager::open_dir`]
+//! resolves the former to the exact record boundary and refuses the
+//! latter.
+//!
 //! # The oracle
 //!
 //! The workload is single-threaded and every session operation forces the
@@ -56,10 +71,12 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use obr_btree::SidePointerMode;
-use obr_core::{recover, Database, FailPoint, FailSite, RecoveryReport, ReorgConfig, Reorganizer};
+use obr_core::{
+    recover, Database, EngineConfig, FailPoint, FailSite, RecoveryReport, ReorgConfig, Reorganizer,
+};
 use obr_storage::{DiskManager, DurabilityWitness, InMemoryDisk, JournalDisk, Lsn};
 use obr_txn::Session;
-use obr_wal::{LogManager, LogReader};
+use obr_wal::{segment, LogManager, LogReader};
 
 use crate::fsck::{fsck_db, FsckOptions};
 use crate::report::Report;
@@ -81,6 +98,11 @@ pub struct CrashCheckOptions {
     /// Directory for torn-tail scratch files; defaults to a per-process
     /// directory under the system temp dir.
     pub scratch_dir: Option<PathBuf>,
+    /// Seal threshold for the segmented-WAL scenario, in bytes. Small
+    /// enough by default that the scripted workload recycles segments
+    /// before journaling and seals at least one more inside the journaled
+    /// window.
+    pub segment_bytes: u64,
 }
 
 impl Default for CrashCheckOptions {
@@ -90,6 +112,7 @@ impl Default for CrashCheckOptions {
             seed: 1,
             torn_tail_samples: 48,
             scratch_dir: None,
+            segment_bytes: 1024,
         }
     }
 }
@@ -114,6 +137,10 @@ pub struct CrashCheckStats {
     pub pass3_resumes: u64,
     /// Side-file entries recovery restored, summed over states.
     pub side_entries_restored: u64,
+    /// File-level segment-directory crash artifacts verified through
+    /// [`LogManager::open_dir`] (torn active tails, mid-seal crashes,
+    /// partial recycles, and the corruptions it must reject).
+    pub segment_states_checked: u64,
 }
 
 /// The outcome of a crash-consistency run: findings plus coverage counters.
@@ -143,6 +170,9 @@ struct Scenario {
     oracle: Vec<(u64, BTreeMap<u64, Vec<u8>>)>,
     /// Pool frames to reopen crashed states with.
     frames: usize,
+    /// Segment directory of a file-backed segmented log (the segmented-WAL
+    /// scenario); `None` for in-memory-log scenarios.
+    wal_dir: Option<PathBuf>,
 }
 
 /// One enumerable crash state of one scenario.
@@ -188,7 +218,7 @@ pub fn run_crash_check(opts: &CrashCheckOptions) -> CrashCheckOutcome {
     let mut report = Report::new();
     let mut stats = CrashCheckStats::default();
 
-    let scenarios = match build_scenarios() {
+    let scenarios = match build_scenarios(opts) {
         Ok(s) => s,
         Err(e) => {
             report.error(
@@ -267,7 +297,17 @@ pub fn run_crash_check(opts: &CrashCheckOptions) -> CrashCheckOutcome {
     for sc in &scenarios {
         verify_torn_tails(sc, opts, &scratch, &mut report, &mut stats);
     }
+
+    // --- Segment-directory crash artifacts through the real reopen path. ---
+    for sc in &scenarios {
+        verify_segment_states(sc, opts, &scratch, &mut report, &mut stats);
+    }
     std::fs::remove_dir_all(&scratch).ok();
+    for sc in &scenarios {
+        if let Some(dir) = sc.wal_dir.as_ref().and_then(|d| d.parent()) {
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
 
     for sc in &scenarios {
         report.note(format!(
@@ -280,11 +320,12 @@ pub fn run_crash_check(opts: &CrashCheckOptions) -> CrashCheckOutcome {
         ));
     }
     report.note(format!(
-        "verified {}/{} crash states, {} torn tails; {} forward unit completions, \
-         {} pass-3 resumes, {} side entries restored",
+        "verified {}/{} crash states, {} torn tails, {} segment states; \
+         {} forward unit completions, {} pass-3 resumes, {} side entries restored",
         stats.states_checked,
         stats.crash_states,
         stats.torn_tails_checked,
+        stats.segment_states_checked,
         stats.forward_units_completed,
         stats.pass3_resumes,
         stats.side_entries_restored
@@ -295,8 +336,12 @@ pub fn run_crash_check(opts: &CrashCheckOptions) -> CrashCheckOutcome {
 
 /// Build the scripted workloads. Each returns with its journal holding the
 /// complete write history and its oracle the committed snapshots.
-fn build_scenarios() -> Result<Vec<Scenario>, Box<dyn std::error::Error>> {
-    Ok(vec![scenario_full_reorg()?, scenario_pass3_interrupted()?])
+fn build_scenarios(opts: &CrashCheckOptions) -> Result<Vec<Scenario>, Box<dyn std::error::Error>> {
+    Ok(vec![
+        scenario_full_reorg()?,
+        scenario_pass3_interrupted()?,
+        scenario_segmented_wal(opts)?,
+    ])
 }
 
 /// Common setup: a sparse bulk-loaded tree over a journaling disk, with the
@@ -320,9 +365,9 @@ fn setup(
     journal.set_witness(Arc::clone(db.log()) as Arc<dyn DurabilityWitness>);
     let records: Vec<(u64, Vec<u8>)> = (0..keys).map(|k| (k * key_stride, val(k))).collect();
     db.tree().bulk_load(&records, fill, node_fill)?;
-    db.checkpoint();
+    db.checkpoint()?;
     db.pool().flush_all()?;
-    db.log().flush_all();
+    db.log().flush_all()?;
     journal.begin_journal()?;
     let model: BTreeMap<u64, Vec<u8>> = records.into_iter().collect();
     Ok((journal, db, model))
@@ -397,7 +442,7 @@ fn scenario_full_reorg() -> Result<Scenario, Box<dyn std::error::Error>> {
     }
 
     db.pool().flush_all()?;
-    db.log().flush_all();
+    db.log().flush_all()?;
     let end_mark = db.log().durable_lsn();
     Ok(Scenario {
         name: "full-reorg",
@@ -408,6 +453,7 @@ fn scenario_full_reorg() -> Result<Scenario, Box<dyn std::error::Error>> {
         end_mark,
         oracle,
         frames: 2048,
+        wal_dir: None,
     })
 }
 
@@ -444,7 +490,7 @@ fn scenario_pass3_interrupted() -> Result<Scenario, Box<dyn std::error::Error>> 
     }
 
     db.pool().flush_all()?;
-    db.log().flush_all();
+    db.log().flush_all()?;
     let end_mark = db.log().durable_lsn();
     Ok(Scenario {
         name: "pass3-interrupted",
@@ -455,7 +501,127 @@ fn scenario_pass3_interrupted() -> Result<Scenario, Box<dyn std::error::Error>> 
         end_mark,
         oracle,
         frames: 2048,
+        wal_dir: None,
     })
+}
+
+/// Scenario 3: the same churn-reorg-churn shape as scenario 1, but against
+/// a real file-backed **segmented** log with a small seal threshold. Before
+/// journaling begins the workload seals several segments and runs
+/// [`Database::truncate_log`], recycling everything below the checkpoint —
+/// so the journaled window starts on a log whose first LSN is far from 1,
+/// and the reorganization inside the window seals at least one more
+/// segment. Every enumerated crash state of this scenario therefore
+/// exercises recovery over seal and recycle boundaries.
+///
+/// The window itself must not truncate: [`LogManager::clone_prefix`] of the
+/// final log cannot reproduce records an in-window truncation dropped, so a
+/// mid-window recycle would make earlier crash states unmaterializable.
+fn scenario_segmented_wal(
+    opts: &CrashCheckOptions,
+) -> Result<Scenario, Box<dyn std::error::Error>> {
+    // The check crate sits outside the engine's sync facade (it *checks*
+    // the engine), so raw std atomics are fine here.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEG_SCENARIO_DIRS: AtomicU64 = AtomicU64::new(0);
+    // relaxed: scratch-directory name uniqueness counter only.
+    let n = SEG_SCENARIO_DIRS.fetch_add(1, Ordering::Relaxed);
+    let root =
+        std::env::temp_dir().join(format!("obr-crashcheck-segwal-{}-{n}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let wal_dir = root.join("wal");
+
+    let pages = 1536u32;
+    let inner = Arc::new(InMemoryDisk::new(pages));
+    let journal = Arc::new(JournalDisk::new(inner as Arc<dyn DiskManager>));
+    let log = Arc::new(LogManager::open_dir(&wal_dir, opts.segment_bytes)?);
+    let db = Database::create_with_log(
+        Arc::clone(&journal) as Arc<dyn DiskManager>,
+        Arc::clone(&log),
+        pages as usize,
+        SidePointerMode::TwoWay,
+        EngineConfig::default(),
+    )?;
+    journal.set_witness(Arc::clone(db.log()) as Arc<dyn DurabilityWitness>);
+    let records: Vec<(u64, Vec<u8>)> = (0..220u64).map(|k| (k * 3, val(k))).collect();
+    db.tree().bulk_load(&records, 0.3, 0.5)?;
+    let mut model: BTreeMap<u64, Vec<u8>> = records.into_iter().collect();
+
+    // Pre-journal churn: enough log volume to seal several segments, then a
+    // checkpoint-truncate that recycles them. The crash states enumerated
+    // below all live on the *survivor* of that recycle.
+    let s = Session::new(Arc::clone(&db));
+    let mut scratch_oracle = Vec::new();
+    for k in 0..48u64 {
+        op_insert(&s, &mut model, &mut scratch_oracle, 700 + k)?;
+    }
+    let sealed_pre_truncate = sealed_count(db.log());
+    if sealed_pre_truncate == 0 {
+        return Err(format!(
+            "segmented scenario sealed no segments before truncation \
+             (segment_bytes {} too large for the workload)",
+            opts.segment_bytes
+        )
+        .into());
+    }
+    db.truncate_log()?;
+    let first_seg = segment::list_segments(&wal_dir)?
+        .first()
+        .map(|(lsn, _)| *lsn)
+        .unwrap_or(Lsn(1));
+    if db.log().first_lsn() <= Lsn(1) || first_seg <= Lsn(1) {
+        return Err("segmented scenario did not recycle any segment files; \
+                    lower segment_bytes"
+            .into());
+    }
+    db.pool().flush_all()?;
+    db.log().flush_all()?;
+    journal.begin_journal()?;
+    let base_mark = db.log().durable_lsn();
+    let mut oracle = vec![(base_mark.0, model.clone())];
+    let sealed_at_base = sealed_count(db.log());
+
+    // Journaled window: churn, a full reorganization, more churn — with at
+    // least one seal inside it so crash states straddle a seal boundary.
+    for k in 0..10u64 {
+        op_insert(&s, &mut model, &mut oracle, 90 + (k / 2) * 3 + 1 + k % 2)?;
+    }
+    for k in 0..6u64 {
+        op_delete(&s, &mut model, &mut oracle, k * 27)?;
+    }
+    let cfg = ReorgConfig {
+        stable_interval: 3,
+        ..ReorgConfig::default()
+    };
+    Reorganizer::new(Arc::clone(&db), cfg.clone()).run()?;
+    for k in 0..6u64 {
+        op_insert(&s, &mut model, &mut oracle, 800 + k)?;
+    }
+
+    db.pool().flush_all()?;
+    db.log().flush_all()?;
+    if sealed_count(db.log()) <= sealed_at_base {
+        return Err("segmented scenario sealed no segment inside the \
+                    journaled window; lower segment_bytes"
+            .into());
+    }
+    let end_mark = db.log().durable_lsn();
+    Ok(Scenario {
+        name: "segmented-wal",
+        journal,
+        log: Arc::clone(db.log()),
+        cfg,
+        base_mark,
+        end_mark,
+        oracle,
+        frames: pages as usize,
+        wal_dir: Some(wal_dir),
+    })
+}
+
+/// Sealed (immutable) segments currently in a log's catalog.
+fn sealed_count(log: &LogManager) -> usize {
+    log.segment_catalog().iter().filter(|s| s.sealed).count()
 }
 
 /// List every valid (disk prefix, log prefix) pair of a scenario. Journal
@@ -672,6 +838,12 @@ fn verify_torn_tails(
     if opts.torn_tail_samples == 0 {
         return;
     }
+    // Segmented scenarios skip the single-file path: `open_file` numbers
+    // records from LSN 1, but a recycled segmented log starts later. Their
+    // torn tails go through `open_dir` in [`verify_segment_states`].
+    if sc.wal_dir.is_some() {
+        return;
+    }
     if let Err(e) = std::fs::create_dir_all(scratch) {
         report.error(
             CHECKER,
@@ -735,4 +907,242 @@ fn verify_torn_tails(
         }
         stats.torn_tails_checked += 1;
     }
+}
+
+/// Verify the segment-directory crash artifacts of a segmented-WAL
+/// scenario through the real [`LogManager::open_dir`] reopen path:
+///
+/// * sampled byte cuts of the **active** segment resolve to the record
+///   boundary below the cut (torn-tail truncation),
+/// * an empty next-named segment left by a crash **mid-seal** is adopted
+///   as the new active segment with nothing lost,
+/// * a **partial recycle** (oldest sealed segment already deleted) opens
+///   with an advanced first LSN,
+/// * a **missing middle** segment and a **torn sealed** segment are
+///   rejected as corruption, never silently skipped or truncated.
+fn verify_segment_states(
+    sc: &Scenario,
+    opts: &CrashCheckOptions,
+    scratch: &std::path::Path,
+    report: &mut Report,
+    stats: &mut CrashCheckStats,
+) {
+    if sc.wal_dir.is_none() {
+        return;
+    }
+    if let Err(e) = verify_segment_states_inner(sc, opts, scratch, report, stats) {
+        report.error(
+            CHECKER,
+            "checker-error",
+            None,
+            None,
+            format!("[scenario {}] segment-state verification: {e}", sc.name),
+        );
+    }
+}
+
+fn verify_segment_states_inner(
+    sc: &Scenario,
+    opts: &CrashCheckOptions,
+    scratch: &std::path::Path,
+    report: &mut Report,
+    stats: &mut CrashCheckStats,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let wal_dir = sc.wal_dir.as_ref().expect("caller checked");
+    let segs = segment::list_segments(wal_dir)?;
+    if segs.len() < 3 {
+        return Err(format!(
+            "expected >= 3 segment files (2 sealed + active), found {}",
+            segs.len()
+        )
+        .into());
+    }
+    let seg_bytes = opts.segment_bytes;
+    let dir_first = segs[0].0;
+    // Copy the segment directory into a scratch subdirectory we can mutate.
+    let fresh = |tag: &str| -> std::io::Result<PathBuf> {
+        let dst = scratch.join(format!("segstate-{}-{tag}", sc.name));
+        std::fs::remove_dir_all(&dst).ok();
+        std::fs::create_dir_all(&dst)?;
+        for (_, path) in &segs {
+            let name = path.file_name().expect("segment files have names");
+            std::fs::copy(path, dst.join(name))?;
+        }
+        Ok(dst)
+    };
+
+    // --- Torn active tail: every byte cut resolves to the boundary. ---
+    let (active_first, active_path) = segs.last().expect("len checked");
+    let active_name = active_path.file_name().expect("segment files have names");
+    let active_bytes = std::fs::read(active_path)?;
+    let mut rng = Prng::new(opts.seed ^ 0x5e_67);
+    let samples = opts.torn_tail_samples.clamp(1, 16);
+    for _ in 0..samples {
+        let cut = rng.below(active_bytes.len() + 1);
+        let dir = fresh("torn-active")?;
+        std::fs::write(dir.join(active_name), &active_bytes[..cut])?;
+        let expect =
+            Lsn(active_first.0 - 1 + LogReader::scan(&active_bytes[..cut]).frames.len() as u64);
+        match LogManager::open_dir(&dir, seg_bytes) {
+            Ok(log) => {
+                if log.durable_lsn() != expect || log.first_lsn() != dir_first {
+                    report.error(
+                        CHECKER,
+                        "segment-state-divergence",
+                        None,
+                        Some(expect),
+                        format!(
+                            "[scenario {}] active segment cut at byte {cut}: open_dir \
+                             recovered LSNs {}..={}, expected {dir_first}..={expect}",
+                            sc.name,
+                            log.first_lsn(),
+                            log.durable_lsn()
+                        ),
+                    );
+                }
+            }
+            Err(e) => {
+                report.error(
+                    CHECKER,
+                    "segment-state-divergence",
+                    None,
+                    Some(expect),
+                    format!(
+                        "[scenario {}] active segment cut at byte {cut} fails to \
+                         open: {e}",
+                        sc.name
+                    ),
+                );
+            }
+        }
+        stats.segment_states_checked += 1;
+    }
+
+    // --- Crash mid-seal: the empty next segment file already exists. ---
+    // A seal creates the next file before any bookkeeping; the prior
+    // active segment (flushed whole) becomes sealed, the empty file
+    // becomes active, and no record moves.
+    if !active_bytes.is_empty() {
+        let dir = fresh("mid-seal")?;
+        let next = Lsn(sc.end_mark.0 + 1);
+        std::fs::write(dir.join(segment::segment_file_name(next)), b"")?;
+        match LogManager::open_dir(&dir, seg_bytes) {
+            Ok(log) => {
+                if log.durable_lsn() != sc.end_mark || log.first_lsn() != dir_first {
+                    report.error(
+                        CHECKER,
+                        "segment-state-divergence",
+                        None,
+                        Some(sc.end_mark),
+                        format!(
+                            "[scenario {}] crash mid-seal: open_dir recovered LSNs \
+                             {}..={}, expected {dir_first}..={}",
+                            sc.name,
+                            log.first_lsn(),
+                            log.durable_lsn(),
+                            sc.end_mark
+                        ),
+                    );
+                }
+            }
+            Err(e) => {
+                report.error(
+                    CHECKER,
+                    "segment-state-divergence",
+                    None,
+                    Some(sc.end_mark),
+                    format!("[scenario {}] crash mid-seal fails to open: {e}", sc.name),
+                );
+            }
+        }
+        stats.segment_states_checked += 1;
+    }
+
+    // --- Partial recycle: oldest sealed segment already deleted. ---
+    {
+        let dir = fresh("partial-recycle")?;
+        let name = segs[0].1.file_name().expect("segment files have names");
+        std::fs::remove_file(dir.join(name))?;
+        match LogManager::open_dir(&dir, seg_bytes) {
+            Ok(log) => {
+                if log.first_lsn() != segs[1].0 || log.durable_lsn() != sc.end_mark {
+                    report.error(
+                        CHECKER,
+                        "segment-state-divergence",
+                        None,
+                        Some(segs[1].0),
+                        format!(
+                            "[scenario {}] partial recycle: open_dir recovered LSNs \
+                             {}..={}, expected {}..={}",
+                            sc.name,
+                            log.first_lsn(),
+                            log.durable_lsn(),
+                            segs[1].0,
+                            sc.end_mark
+                        ),
+                    );
+                }
+            }
+            Err(e) => {
+                report.error(
+                    CHECKER,
+                    "segment-state-divergence",
+                    None,
+                    Some(segs[1].0),
+                    format!("[scenario {}] partial recycle fails to open: {e}", sc.name),
+                );
+            }
+        }
+        stats.segment_states_checked += 1;
+    }
+
+    // --- Missing middle segment: must be rejected, never skipped. ---
+    {
+        let dir = fresh("middle-gap")?;
+        let name = segs[1].1.file_name().expect("segment files have names");
+        std::fs::remove_file(dir.join(name))?;
+        if let Ok(log) = LogManager::open_dir(&dir, seg_bytes) {
+            report.error(
+                CHECKER,
+                "segment-corruption-undetected",
+                None,
+                Some(segs[1].0),
+                format!(
+                    "[scenario {}] open_dir silently skipped a missing middle \
+                     segment and recovered LSNs {}..={}",
+                    sc.name,
+                    log.first_lsn(),
+                    log.durable_lsn()
+                ),
+            );
+        }
+        stats.segment_states_checked += 1;
+    }
+
+    // --- Torn sealed segment: must be rejected, never truncated. ---
+    {
+        let dir = fresh("torn-sealed")?;
+        let name = segs[0].1.file_name().expect("segment files have names");
+        let bytes = std::fs::read(&segs[0].1)?;
+        if bytes.len() > 3 {
+            std::fs::write(dir.join(name), &bytes[..bytes.len() - 3])?;
+            if let Ok(log) = LogManager::open_dir(&dir, seg_bytes) {
+                report.error(
+                    CHECKER,
+                    "segment-corruption-undetected",
+                    None,
+                    Some(segs[0].0),
+                    format!(
+                        "[scenario {}] open_dir silently truncated a torn sealed \
+                         segment and recovered LSNs {}..={}",
+                        sc.name,
+                        log.first_lsn(),
+                        log.durable_lsn()
+                    ),
+                );
+            }
+            stats.segment_states_checked += 1;
+        }
+    }
+    Ok(())
 }

@@ -58,7 +58,9 @@ pub use lockorder::{
 };
 pub use report::{Finding, Report, Severity};
 pub use srclint::{check_whitelist, lint_sources, FACADE_EXEMPT, RELAXED_OK};
-pub use wal_lint::{lint_log, lint_records, lint_wal_file, WalLintOptions};
+pub use wal_lint::{
+    lint_log, lint_records, lint_wal_dir, lint_wal_file, lint_wal_path, WalLintOptions,
+};
 
 use obr_core::Database;
 

@@ -8,7 +8,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use obr_btree::SidePointerMode;
-use obr_check::{fsck_file, lint_wal_file, FsckOptions, WalLintOptions};
+use obr_check::{fsck_file, lint_wal_dir, lint_wal_file, FsckOptions, WalLintOptions};
 use obr_core::{Database, ReorgConfig, Reorganizer};
 use obr_storage::{InMemoryDisk, PageType, PAGE_SIZE};
 use obr_txn::Session;
@@ -50,7 +50,7 @@ fn build_reorganized_db(dir: &Path) {
     }
     let reorg = Reorganizer::new(Arc::clone(&db), ReorgConfig::default());
     reorg.run().unwrap();
-    db.checkpoint();
+    db.checkpoint().unwrap();
     db.pool().flush_all().unwrap();
 }
 
@@ -63,7 +63,7 @@ fn healthy_database_passes_all_checks() {
     assert!(fsck.report.is_clean(), "{}", fsck.report);
     assert!(fsck.stats.leaf_pages > 0, "expected a populated tree");
 
-    let wal = lint_wal_file(&scratch.path().join("wal.log"), &WalLintOptions::default()).unwrap();
+    let wal = lint_wal_dir(&scratch.path().join("wal"), &WalLintOptions::default()).unwrap();
     assert!(wal.is_clean(), "{wal}");
 }
 
@@ -168,6 +168,15 @@ fn out_of_order_key_is_caught_in_the_file() {
     );
 }
 
+/// The active (highest-first-LSN) segment of a segmented WAL directory.
+fn active_segment(dir: &Path) -> PathBuf {
+    obr_wal::segment::list_segments(&dir.join("wal"))
+        .unwrap()
+        .pop()
+        .expect("the database leaves at least one segment")
+        .1
+}
+
 /// Split a serialized log into `[len][frame]` chunks (offset, frame bytes).
 fn frames(bytes: &[u8]) -> Vec<(usize, Vec<u8>)> {
     let mut out = Vec::new();
@@ -187,23 +196,33 @@ fn frames(bytes: &[u8]) -> Vec<(usize, Vec<u8>)> {
 fn truncated_wal_is_caught_naming_the_tear() {
     let scratch = Scratch::new("torn");
     build_reorganized_db(scratch.path());
-    let wal_log = scratch.path().join("wal.log");
-    let bytes = fs::read(&wal_log).unwrap();
+    let seg = active_segment(scratch.path());
+    let first_lsn =
+        obr_wal::segment::parse_segment_name(seg.file_name().unwrap().to_str().unwrap()).unwrap();
+    let bytes = fs::read(&seg).unwrap();
     let parsed = frames(&bytes);
     assert!(parsed.len() > 2, "log too short to truncate meaningfully");
     // Cut inside the last frame: keep its header plus one payload byte.
     let (last_off, _) = parsed[parsed.len() - 1];
-    fs::write(&wal_log, &bytes[..last_off + 5]).unwrap();
+    fs::write(&seg, &bytes[..last_off + 5]).unwrap();
 
-    let report = lint_wal_file(&wal_log, &WalLintOptions::default()).unwrap();
+    // Dir mode: the tear is in the active segment, so it lints as a
+    // crash-shaped torn frame naming the last intact LSN.
+    let last_intact = obr_storage::Lsn(first_lsn.0 + parsed.len() as u64 - 2);
+    let report = lint_wal_dir(&scratch.path().join("wal"), &WalLintOptions::default()).unwrap();
     assert!(
         report
             .findings
             .iter()
-            .any(|f| f.code == "torn-frame"
-                && f.lsn == Some(obr_storage::Lsn(parsed.len() as u64 - 1))),
-        "no torn-frame finding naming LSN {}: {report}",
-        parsed.len() - 1
+            .any(|f| f.code == "torn-frame" && f.lsn == Some(last_intact)),
+        "no torn-frame finding naming LSN {last_intact}: {report}"
+    );
+
+    // File mode still works on a bare segment file.
+    let file_report = lint_wal_file(&seg, &WalLintOptions::default()).unwrap();
+    assert!(
+        file_report.findings.iter().any(|f| f.code == "torn-frame"),
+        "{file_report}"
     );
 }
 
@@ -211,7 +230,10 @@ fn truncated_wal_is_caught_naming_the_tear() {
 fn reordered_wal_is_caught_naming_the_lsn() {
     let scratch = Scratch::new("reorder");
     build_reorganized_db(scratch.path());
-    let wal_log = scratch.path().join("wal.log");
+    let wal_log = active_segment(scratch.path());
+    let first_lsn =
+        obr_wal::segment::parse_segment_name(wal_log.file_name().unwrap().to_str().unwrap())
+            .unwrap();
     let bytes = fs::read(&wal_log).unwrap();
     let parsed = frames(&bytes);
 
@@ -241,8 +263,8 @@ fn reordered_wal_is_caught_naming_the_lsn() {
     }
     fs::write(&wal_log, &spliced).unwrap();
 
-    let report = lint_wal_file(&wal_log, &WalLintOptions::default()).unwrap();
-    let lsn = obr_storage::Lsn(i as u64 + 1);
+    let report = lint_wal_dir(&scratch.path().join("wal"), &WalLintOptions::default()).unwrap();
+    let lsn = obr_storage::Lsn(first_lsn.0 + i as u64);
     assert!(
         report
             .findings

@@ -13,6 +13,16 @@ use crate::db::Database;
 use crate::error::{CoreError, CoreResult};
 use crate::reorg::{ReorgConfig, ReorgDecision, ReorgTrigger, Reorganizer};
 
+/// Optional housekeeping the daemon performs alongside reorganization.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DaemonOptions {
+    /// When set, any cycle that finds the WAL's on-disk footprint above
+    /// this many bytes drives [`Database::truncate_log`] (sharp
+    /// checkpoint plus sealed-segment recycling), keeping a long-lived
+    /// service's log bounded.
+    pub wal_budget_bytes: Option<u64>,
+}
+
 /// Handle to a running background reorganizer.
 pub struct ReorgDaemon {
     stop: Arc<AtomicBool>,
@@ -29,6 +39,24 @@ impl ReorgDaemon {
         trigger: ReorgTrigger,
         interval: Duration,
     ) -> ReorgDaemon {
+        Self::spawn_with_options(db, cfg, trigger, interval, DaemonOptions::default())
+    }
+
+    /// Like [`Self::spawn`], with housekeeping options (WAL truncation
+    /// budget).
+    ///
+    /// A failed cycle — reorganization error, checkpoint flush error, log
+    /// I/O error — is counted (`reorg_daemon_errors`), traced
+    /// (`daemon_error`), and retried on the next interval; it never kills
+    /// the daemon thread. Only a panic (a bug, not an environmental
+    /// failure) ends the loop early.
+    pub fn spawn_with_options(
+        db: Arc<Database>,
+        cfg: ReorgConfig,
+        trigger: ReorgTrigger,
+        interval: Duration,
+        opts: DaemonOptions,
+    ) -> ReorgDaemon {
         let stop = Arc::new(AtomicBool::new(false));
         let runs = Arc::new(Mutex::named(Vec::new(), "daemon.runs"));
         let stop2 = Arc::clone(&stop);
@@ -37,6 +65,7 @@ impl ReorgDaemon {
             .name("obr-reorg-daemon".into())
             .spawn(move || {
                 let mut decisions = Vec::new();
+                let mut consecutive_errors = 0u64;
                 while !stop2.load(Ordering::Relaxed) {
                     // Sleep in small slices so stop() is responsive.
                     let mut slept = Duration::ZERO;
@@ -51,20 +80,42 @@ impl ReorgDaemon {
                     db.core_metrics().daemon_cycles.inc();
                     db.tracer()
                         .emit(obr_obs::TraceKind::DaemonCycle, 0, 0, 0, 0, 0);
-                    let reorg = Reorganizer::new(Arc::clone(&db), cfg.clone());
-                    let decision = reorg.run_if_needed(trigger)?;
-                    if decision != ReorgDecision::default() {
-                        db.core_metrics().daemon_runs.inc();
-                        db.tracer().emit(
-                            obr_obs::TraceKind::DaemonRun,
-                            0,
-                            0,
-                            0,
-                            u64::from(decision.compacted) | (u64::from(decision.swapped) << 1),
-                            u64::from(decision.shrunk),
-                        );
-                        decisions.push(decision);
-                        runs2.lock().push(decision);
+                    match Self::run_cycle(&db, &cfg, trigger, &opts) {
+                        Ok(decision) => {
+                            consecutive_errors = 0;
+                            if decision != ReorgDecision::default() {
+                                db.core_metrics().daemon_runs.inc();
+                                db.tracer().emit(
+                                    obr_obs::TraceKind::DaemonRun,
+                                    0,
+                                    0,
+                                    0,
+                                    u64::from(decision.compacted)
+                                        | (u64::from(decision.swapped) << 1),
+                                    u64::from(decision.shrunk),
+                                );
+                                decisions.push(decision);
+                                runs2.lock().push(decision);
+                            }
+                        }
+                        Err(e) => {
+                            // Logged retry: a transient flush or I/O error
+                            // must not abort the daemon (the next cycle
+                            // simply tries again).
+                            consecutive_errors += 1;
+                            db.core_metrics().daemon_errors.inc();
+                            db.tracer().emit(
+                                obr_obs::TraceKind::DaemonError,
+                                0,
+                                0,
+                                0,
+                                consecutive_errors,
+                                0,
+                            );
+                            eprintln!(
+                                "obr-reorg-daemon: cycle failed (retrying next interval): {e}"
+                            );
+                        }
                     }
                 }
                 Ok(decisions)
@@ -75,6 +126,26 @@ impl ReorgDaemon {
             handle: Some(handle),
             runs,
         }
+    }
+
+    /// One daemon cycle: reorganize if the trigger fires, then enforce the
+    /// WAL budget. Every fallible step is propagated so the loop above can
+    /// count/log and retry.
+    fn run_cycle(
+        db: &Arc<Database>,
+        cfg: &ReorgConfig,
+        trigger: ReorgTrigger,
+        opts: &DaemonOptions,
+    ) -> CoreResult<ReorgDecision> {
+        let reorg = Reorganizer::new(Arc::clone(db), cfg.clone());
+        let decision = reorg.run_if_needed(trigger)?;
+        if let Some(budget) = opts.wal_budget_bytes {
+            if db.log().on_disk_bytes() > budget {
+                db.truncate_log()?;
+                db.core_metrics().daemon_truncations.inc();
+            }
+        }
+        Ok(decision)
     }
 
     /// Decisions made so far (non-blocking snapshot).

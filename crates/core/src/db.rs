@@ -30,7 +30,15 @@ pub struct EngineConfig {
     pub group_commit: bool,
     /// Pages reserved at the front of the disk for meta/internal pages.
     pub internal_region_pages: u32,
+    /// Seal threshold for durable WAL segments: once the active segment
+    /// file reaches this many bytes it is sealed (becomes immutable and
+    /// shippable) and a new one is started. Only durable databases use
+    /// it. Small values (a few KiB) force frequent seals for tests.
+    pub wal_segment_bytes: u64,
 }
+
+/// Default WAL segment seal threshold (4 MiB).
+pub const DEFAULT_WAL_SEGMENT_BYTES: u64 = 4 << 20;
 
 impl Default for EngineConfig {
     fn default() -> Self {
@@ -38,6 +46,7 @@ impl Default for EngineConfig {
             pool_shards: None,
             group_commit: true,
             internal_region_pages: 0,
+            wal_segment_bytes: DEFAULT_WAL_SEGMENT_BYTES,
         }
     }
 }
@@ -50,6 +59,7 @@ impl EngineConfig {
             pool_shards: Some(1),
             group_commit: false,
             internal_region_pages: 0,
+            wal_segment_bytes: DEFAULT_WAL_SEGMENT_BYTES,
         }
     }
 
@@ -182,9 +192,9 @@ impl Database {
         Ok(Self::assemble(disk, pool, fsm, log, tree))
     }
 
-    /// Create a fully durable database: pages in `<dir>/pages.db`, WAL in
-    /// `<dir>/wal.log`. Use [`crate::recovery::recover`] after
-    /// [`Self::open_durable`] to restart from the files.
+    /// Create a fully durable database: pages in `<dir>/pages.db`, WAL as
+    /// a segmented log under `<dir>/wal/`. Use [`crate::recovery::recover`]
+    /// after [`Self::open_durable`] to restart from the files.
     pub fn create_durable(
         dir: &std::path::Path,
         pages: u32,
@@ -205,7 +215,33 @@ impl Database {
         std::fs::create_dir_all(dir).map_err(obr_storage::StorageError::Io)?;
         let disk: Arc<dyn DiskManager> =
             Arc::new(obr_storage::FileDisk::open(&dir.join("pages.db"), pages)?);
-        let log = Arc::new(LogManager::open_file(&dir.join("wal.log"))?);
+        let log = Arc::new(LogManager::open_dir(
+            &dir.join("wal"),
+            cfg.wal_segment_bytes,
+        )?);
+        Self::create_over(disk, log, pool_frames, side, cfg)
+    }
+
+    /// Assemble a fresh database over an already-opened disk and log. The
+    /// crash checker uses this to pair a journaling page disk with a real
+    /// file-backed (segmented) WAL.
+    pub fn create_with_log(
+        disk: Arc<dyn DiskManager>,
+        log: Arc<LogManager>,
+        pool_frames: usize,
+        side: SidePointerMode,
+        cfg: EngineConfig,
+    ) -> CoreResult<Arc<Database>> {
+        Self::create_over(disk, log, pool_frames, side, cfg)
+    }
+
+    fn create_over(
+        disk: Arc<dyn DiskManager>,
+        log: Arc<LogManager>,
+        pool_frames: usize,
+        side: SidePointerMode,
+        cfg: EngineConfig,
+    ) -> CoreResult<Arc<Database>> {
         log.set_group_commit(cfg.group_commit);
         let pool = cfg.build_pool(&disk, pool_frames);
         let fsm = Arc::new(FreeSpaceMap::new_all_free(disk.num_pages()));
@@ -221,14 +257,21 @@ impl Database {
     }
 
     /// Reopen a durable database from its directory (run
-    /// [`crate::recovery::recover`] on the result before use).
+    /// [`crate::recovery::recover`] on the result before use). Opens the
+    /// segmented WAL at `<dir>/wal/` when present, falling back to a
+    /// legacy single-file `<dir>/wal.log`.
     pub fn open_durable(
         dir: &std::path::Path,
         pool_frames: usize,
         side: SidePointerMode,
     ) -> CoreResult<Arc<Database>> {
         let disk = Arc::new(obr_storage::FileDisk::open(&dir.join("pages.db"), 1)?);
-        let log = Arc::new(LogManager::open_file(&dir.join("wal.log"))?);
+        let wal_dir = dir.join("wal");
+        let log = if wal_dir.is_dir() || !dir.join("wal.log").exists() {
+            Arc::new(LogManager::open_dir(&wal_dir, DEFAULT_WAL_SEGMENT_BYTES)?)
+        } else {
+            Arc::new(LogManager::open_file(&dir.join("wal.log"))?)
+        };
         Self::reopen(disk as Arc<dyn DiskManager>, log, pool_frames, side)
     }
 
@@ -383,10 +426,13 @@ impl Database {
     /// redo never needs records that precede the checkpoint), then a
     /// checkpoint record carrying the reorganization state table and the
     /// active-transaction list is forced to the log.
-    pub fn checkpoint(&self) -> obr_storage::Lsn {
-        self.pool
-            .flush_all()
-            .expect("sharp checkpoint could not flush the buffer pool");
+    ///
+    /// A flush or log I/O failure is returned, not panicked: checkpoints
+    /// are retried by the daemon, and a transient error must not take the
+    /// engine down (the previous checkpoint simply stays the recovery
+    /// anchor).
+    pub fn checkpoint(&self) -> CoreResult<obr_storage::Lsn> {
+        self.pool.flush_all()?;
         let pass3 = self.pass3_state();
         let active: Vec<(TxnId, obr_storage::Lsn)> = self
             .active_txns
@@ -401,7 +447,7 @@ impl Database {
                 pass3,
             },
         };
-        self.log.append_force(&rec)
+        Ok(self.log.append_force(&rec)?)
     }
 
     fn pass3_state(&self) -> Option<obr_wal::Pass3State> {
@@ -437,12 +483,15 @@ impl Database {
     }
 
     /// Drop log records below the low-water mark. A sharp checkpoint is
-    /// written first so redo never needs the dropped prefix. Returns the
-    /// number of records discarded.
+    /// written first so redo never needs the dropped prefix; for a
+    /// segmented WAL the freed prefix is then reclaimed on disk by
+    /// recycling every sealed segment below the (boundary-rounded) mark.
+    /// Returns the number of records discarded.
     pub fn truncate_log(&self) -> CoreResult<usize> {
-        self.checkpoint(); // sharp: flushes every dirty page first
+        self.checkpoint()?; // sharp: flushes every dirty page first
         let before = self.log.len();
         self.log.truncate_before(self.log_low_water_mark());
+        self.log.recycle_segments()?;
         Ok(before - self.log.len())
     }
 
@@ -504,7 +553,7 @@ mod tests {
     #[test]
     fn checkpoint_is_durable() {
         let d = db();
-        let lsn = d.checkpoint();
+        let lsn = d.checkpoint().unwrap();
         assert!(d.log().durable_lsn() >= lsn);
         let (_, rec) = d.log().last_checkpoint().unwrap().unwrap();
         assert!(matches!(rec, LogRecord::Checkpoint { .. }));

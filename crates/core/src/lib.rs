@@ -22,10 +22,11 @@ mod metrics;
 pub mod pass3;
 pub mod recovery;
 pub mod reorg;
+pub mod replica;
 pub mod sidefile;
 pub mod stats;
 
-pub use daemon::ReorgDaemon;
+pub use daemon::{DaemonOptions, ReorgDaemon};
 pub use db::{Database, EngineConfig};
 pub use error::{CoreError, CoreResult};
 pub use pass3::{NewTreeEditor, Pass3Observer, STABLE_ALL_READ};
@@ -34,5 +35,6 @@ pub use reorg::{
     FailPoint, FailSite, LogStrategy, PlacementPolicy, ReorgConfig, ReorgDecision, ReorgStats,
     ReorgTrigger, Reorganizer,
 };
+pub use replica::Replica;
 pub use sidefile::{SideEntry, SideFile, SideOp};
 pub use stats::DatabaseStats;

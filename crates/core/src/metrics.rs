@@ -40,6 +40,10 @@ pub(crate) struct CoreMetrics {
     // Reorg daemon.
     pub daemon_cycles: Counter,
     pub daemon_runs: Counter,
+    /// Cycles that failed and were retried instead of killing the thread.
+    pub daemon_errors: Counter,
+    /// WAL truncations (checkpoint + segment recycle) the daemon drove.
+    pub daemon_truncations: Counter,
     // Tree shape, refreshed by `Database::metrics_snapshot` / `stats`.
     pub tree_records: Gauge,
     pub tree_leaf_pages: Gauge,
@@ -74,6 +78,8 @@ impl CoreMetrics {
         reg.register_counter("recovery_pass3_resumes", &self.recovery_pass3_resumes);
         reg.register_counter("reorg_daemon_cycles", &self.daemon_cycles);
         reg.register_counter("reorg_daemon_runs", &self.daemon_runs);
+        reg.register_counter("reorg_daemon_errors", &self.daemon_errors);
+        reg.register_counter("reorg_daemon_truncations", &self.daemon_truncations);
         reg.register_gauge("tree_records", &self.tree_records);
         reg.register_gauge("tree_leaf_pages", &self.tree_leaf_pages);
         reg.register_gauge("tree_internal_pages", &self.tree_internal_pages);

@@ -545,8 +545,35 @@ impl Reorganizer {
         Ok(())
     }
 
+    /// Log full images of freshly built new-tree pages as one `Smo`
+    /// record. The primary's own recovery never needs it (the pages are
+    /// force-written before the stable record), but a log-shipping replica
+    /// has no access to this disk: the log must carry everything, and
+    /// redo's page-LSN gate makes the images free on the primary.
+    fn log_built_images(db: &Arc<Database>, pages: &[PageId]) -> CoreResult<()> {
+        if pages.is_empty() {
+            return Ok(());
+        }
+        let pool = db.pool();
+        let mut images = Vec::with_capacity(pages.len());
+        for &p in pages {
+            let g = pool.fetch(p)?;
+            images.push((p, image_of(&g.read())));
+        }
+        let lsn = db.log().append(&LogRecord::Smo {
+            images,
+            new_anchor: None,
+        });
+        for &p in pages {
+            let g = pool.fetch(p)?;
+            g.write().set_lsn(lsn);
+        }
+        Ok(())
+    }
+
     fn pass3_stable_point(&self, db: &Arc<Database>, builder: &mut UpperBuilder) -> CoreResult<()> {
         let touched = builder.take_touched();
+        Self::log_built_images(db, &touched)?;
         // Pages the pool already evicted were written (and will be synced
         // just below); the skipped set distinguishes them from typos in the
         // touched bookkeeping, which would name pages never dirtied at all.
@@ -556,7 +583,7 @@ impl Reorganizer {
             stable_key: db.get_current(),
             new_root: builder.top_page().unwrap_or(PageId::INVALID),
         };
-        db.log().append_force(&LogRecord::Pass3Stable { state });
+        db.log().append_force(&LogRecord::Pass3Stable { state })?;
         self.stats.lock().stable_points += 1;
         db.core_metrics().stable_points.inc();
         db.tracer().emit(
@@ -578,6 +605,7 @@ impl Reorganizer {
         // Make the whole new upper level durable before catch-up (§7.3).
         let pages = builder.pages_allocated();
         let built = builder.finish()?;
+        Self::log_built_images(db, &pages)?;
         let _already_durable = db.pool().flush_pages(&pages)?;
         db.disk().sync()?;
         db.log().append_force(&LogRecord::Pass3Stable {
@@ -585,7 +613,7 @@ impl Reorganizer {
                 stable_key: STABLE_ALL_READ,
                 new_root: built.root,
             },
-        });
+        })?;
         Ok(built)
     }
 
@@ -663,7 +691,7 @@ impl Reorganizer {
                 old_root,
                 new_root: editor.root,
                 new_height: editor.height,
-            });
+            })?;
             tree.set_anchor(editor.root, editor.height, lsn)?;
             tree.set_generation(old_gen + 1)?;
             tree.set_reorg_bit(false)?;

@@ -344,7 +344,11 @@ fn collect_new_tree_pages(
 }
 
 /// Apply one log record's redo action. Returns true when something changed.
-fn redo_one(db: &Arc<Database>, lsn: Lsn, rec: &LogRecord) -> CoreResult<bool> {
+///
+/// Shared with [`crate::replica::Replica`]: log shipping is exactly
+/// continuous redo, so the replica applies records with the same
+/// page-LSN-gated function restart recovery uses.
+pub(crate) fn redo_one(db: &Arc<Database>, lsn: Lsn, rec: &LogRecord) -> CoreResult<bool> {
     let pool = db.pool();
     let behind = |p: PageId| -> CoreResult<bool> {
         let g = pool.fetch(p)?;

@@ -1,0 +1,278 @@
+//! A log-shipping read replica.
+//!
+//! Segmenting the WAL (see `obr-wal`) makes sealed segments immutable
+//! files, which is exactly the unit of log shipping: a replica ingests
+//! sealed segments as they appear, then tail-streams the active segment,
+//! and applies every record through the same page-LSN-gated redo function
+//! restart recovery uses ([`crate::recovery`]). Replication is therefore
+//! *continuous recovery*: the replica's pages are byte-identical to what
+//! the primary's crash recovery would reconstruct at the same LSN, so it
+//! follows the reorganizer's checkpoint, pass-3 stable, and tree-switch
+//! records without any replica-specific logic — after a
+//! [`obr_wal::LogRecord::Pass3Switch`] is applied, reads run against the
+//! new tree, just as on the primary.
+//!
+//! # Consistency
+//!
+//! The replica's state at [`Replica::applied_lsn`] equals the primary's
+//! *physical* state at that LSN: committed work is present, and a
+//! transaction in flight at the shipping horizon appears exactly as it
+//! would to the primary's own recovery before undo. Quiesce writers (or
+//! compare after commit) for a record-for-record match with the primary.
+//!
+//! # Falling behind
+//!
+//! The primary recycles sealed segments below its log low-water mark. A
+//! replica that has not ingested a segment before it is recycled cannot
+//! catch up from the log alone and reports
+//! [`CoreError::Recovery`]; re-seed it from a fresh snapshot.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use obr_btree::SidePointerMode;
+use obr_obs::{Counter, Gauge};
+use obr_storage::{DiskManager, InMemoryDisk, Lsn};
+use obr_sync::Mutex;
+use obr_wal::{segment, LogManager, LogReader, LogRecord};
+
+use crate::db::Database;
+use crate::error::{CoreError, CoreResult};
+use crate::recovery::redo_one;
+
+/// Apply-side progress, guarded by one mutex so segment ingest and tail
+/// sync serialize (records must apply in LSN order).
+#[derive(Debug, Default)]
+struct Progress {
+    /// Highest LSN applied; `Lsn::ZERO` before the first record.
+    applied: Lsn,
+    /// Sealed segments ingested.
+    segments: u64,
+    /// Checkpoint records seen (the replica's reorg-horizon markers).
+    checkpoints: u64,
+    /// Tree switches followed (pass-3 completions on the primary).
+    switches: u64,
+}
+
+/// Live handles registered into the replica database's own registry.
+#[derive(Debug, Default)]
+struct ReplicaMetrics {
+    applied_lsn: Gauge,
+    records_applied: Counter,
+    segments_ingested: Counter,
+    lag: Gauge,
+}
+
+/// A read-only database following a primary by applying its WAL.
+pub struct Replica {
+    db: Arc<Database>,
+    progress: Mutex<Progress>,
+    metrics: ReplicaMetrics,
+}
+
+impl Replica {
+    /// Create a replica with its own in-memory disk and buffer pool, shaped
+    /// like the primary (`pages`, `side` must match the primary's creation
+    /// parameters so physical redo lands on identical page layouts).
+    pub fn new(pages: u32, pool_frames: usize, side: SidePointerMode) -> CoreResult<Replica> {
+        let disk = Arc::new(InMemoryDisk::new(pages));
+        let db = Database::create(disk as Arc<dyn DiskManager>, pool_frames, side)?;
+        Ok(Self::over(db))
+    }
+
+    /// Wrap an already-assembled database (e.g. one reopened from a
+    /// snapshot of the primary's page file) as the replica's apply target.
+    /// Shipping starts from the snapshot's state; call
+    /// [`Self::set_applied_floor`] with the snapshot's checkpoint LSN so
+    /// already-materialized records are skipped.
+    pub fn over(db: Arc<Database>) -> Replica {
+        let metrics = ReplicaMetrics::default();
+        let reg = db.metrics();
+        reg.register_gauge("replica_applied_lsn", &metrics.applied_lsn);
+        reg.register_counter("replica_records_applied", &metrics.records_applied);
+        reg.register_counter("replica_segments_ingested", &metrics.segments_ingested);
+        reg.register_gauge("replica_lag", &metrics.lag);
+        Replica {
+            db,
+            progress: Mutex::named(Progress::default(), "replica.progress"),
+            metrics,
+        }
+    }
+
+    /// The replica's database. Reads are fine; writing to it forks the
+    /// replica from the primary's history.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Highest LSN applied so far.
+    pub fn applied_lsn(&self) -> Lsn {
+        self.progress.lock().applied
+    }
+
+    /// Checkpoint records the replica has applied past.
+    pub fn checkpoints_seen(&self) -> u64 {
+        self.progress.lock().checkpoints
+    }
+
+    /// Tree-switch records followed (each one moved reads to a new tree).
+    pub fn switches_seen(&self) -> u64 {
+        self.progress.lock().switches
+    }
+
+    /// Declare that state up to `lsn` is already materialized (snapshot
+    /// bootstrap): records at or below it are skipped, not re-applied.
+    pub fn set_applied_floor(&self, lsn: Lsn) {
+        let mut p = self.progress.lock();
+        if lsn > p.applied {
+            p.applied = lsn;
+            self.metrics.applied_lsn.set(lsn.0);
+        }
+    }
+
+    /// Apply records in order, skipping anything at or below the applied
+    /// LSN and erroring on a gap.
+    fn apply_batch(&self, records: &[(Lsn, LogRecord)]) -> CoreResult<u64> {
+        let mut p = self.progress.lock();
+        let mut applied = 0u64;
+        for (lsn, rec) in records {
+            if *lsn <= p.applied {
+                continue;
+            }
+            if lsn.0 != p.applied.0 + 1 && p.applied != Lsn::ZERO {
+                return Err(CoreError::Recovery(format!(
+                    "replication gap: next record is LSN {lsn}, applied through {}",
+                    p.applied
+                )));
+            }
+            redo_one(&self.db, *lsn, rec)?;
+            match rec {
+                LogRecord::Checkpoint { .. } => p.checkpoints += 1,
+                LogRecord::Pass3Switch { .. } => p.switches += 1,
+                _ => {}
+            }
+            p.applied = *lsn;
+            applied += 1;
+        }
+        self.metrics.applied_lsn.set(p.applied.0);
+        self.metrics.records_applied.add(applied);
+        Ok(applied)
+    }
+
+    /// Ingest one **sealed** segment file shipped from the primary.
+    ///
+    /// The file name carries its first LSN; a torn record in a sealed
+    /// segment is corruption (the primary only seals at record
+    /// boundaries), and a first LSN beyond `applied + 1` is a shipping gap
+    /// — the segment between was lost or recycled unseen. Returns the
+    /// number of records applied (0 when the whole segment was already
+    /// applied).
+    pub fn ingest_segment(&self, path: &Path) -> CoreResult<u64> {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        let first_lsn = segment::parse_segment_name(name).ok_or_else(|| {
+            CoreError::Recovery(format!("{name:?} is not a WAL segment file name"))
+        })?;
+        let bytes = std::fs::read(path).map_err(obr_storage::StorageError::Io)?;
+        let scan = LogReader::scan(&bytes);
+        if let Some(tail) = scan.torn {
+            return Err(CoreError::Recovery(format!(
+                "sealed segment {name} is torn at byte {}: refusing to ship a \
+                 partial segment",
+                tail.offset
+            )));
+        }
+        let records: Vec<(Lsn, LogRecord)> = scan
+            .records
+            .into_iter()
+            .enumerate()
+            .map(|(i, rec)| (Lsn(first_lsn.0 + i as u64), rec))
+            .collect();
+        let n = self.apply_batch(&records)?;
+        if n > 0 {
+            let mut p = self.progress.lock();
+            p.segments += 1;
+            self.metrics.segments_ingested.inc();
+        }
+        Ok(n)
+    }
+
+    /// Ingest every segment under the primary's WAL directory: sealed
+    /// segments whole, then the active segment's intact prefix (its torn
+    /// tail, if any, is the primary's in-flight write and is simply not
+    /// shipped yet). This is the out-of-process catch-up path; a live
+    /// in-process replica uses [`Self::sync_from`] for the tail instead.
+    pub fn ingest_dir(&self, wal_dir: &Path) -> CoreResult<u64> {
+        let segments = segment::list_segments(wal_dir).map_err(obr_storage::StorageError::Io)?;
+        let Some(last) = segments.len().checked_sub(1) else {
+            return Ok(0);
+        };
+        let mut total = 0u64;
+        for (i, (first_lsn, path)) in segments.iter().enumerate() {
+            if i != last {
+                total += self.ingest_segment(path)?;
+                continue;
+            }
+            // Active segment: apply the intact prefix only.
+            let bytes = std::fs::read(path).map_err(obr_storage::StorageError::Io)?;
+            let scan = LogReader::scan(&bytes);
+            let records: Vec<(Lsn, LogRecord)> = scan
+                .records
+                .into_iter()
+                .enumerate()
+                .map(|(j, rec)| (Lsn(first_lsn.0 + j as u64), rec))
+                .collect();
+            total += self.apply_batch(&records)?;
+        }
+        Ok(total)
+    }
+
+    /// Tail-stream from a live primary's log: apply every durable record
+    /// past the applied LSN. Errors with [`CoreError::Recovery`] when the
+    /// primary has already recycled records the replica never saw.
+    pub fn sync_from(&self, log: &LogManager) -> CoreResult<u64> {
+        let next = Lsn(self.applied_lsn().0 + 1);
+        if next < log.first_lsn() {
+            return Err(CoreError::Recovery(format!(
+                "replica fell behind: needs LSN {next} but the primary's log \
+                 now starts at {} (segments recycled); re-seed from a snapshot",
+                log.first_lsn()
+            )));
+        }
+        let durable = log.durable_lsn();
+        let records: Vec<(Lsn, LogRecord)> = log
+            .records_from(next)?
+            .into_iter()
+            .filter(|(lsn, _)| *lsn <= durable)
+            .collect();
+        let n = self.apply_batch(&records)?;
+        self.metrics
+            .lag
+            .set(durable.0.saturating_sub(self.applied_lsn().0));
+        Ok(n)
+    }
+
+    /// How many durable records the replica is behind `log`.
+    pub fn lag(&self, log: &LogManager) -> u64 {
+        let lag = log.durable_lsn().0.saturating_sub(self.applied_lsn().0);
+        self.metrics.lag.set(lag);
+        lag
+    }
+
+    /// Point lookup against the replica's current tree.
+    pub fn get(&self, key: u64) -> CoreResult<Option<Vec<u8>>> {
+        Ok(self.db.tree().search(key)?)
+    }
+
+    /// Range scan `[lo, hi]` against the replica's current tree.
+    pub fn scan(&self, lo: u64, hi: u64) -> CoreResult<Vec<(u64, Vec<u8>)>> {
+        Ok(self.db.tree().range_scan(lo, hi)?)
+    }
+
+    /// Every record in the replica's current tree.
+    pub fn scan_all(&self) -> CoreResult<Vec<(u64, Vec<u8>)>> {
+        Ok(self.db.tree().collect_all()?)
+    }
+}

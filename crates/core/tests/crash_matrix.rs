@@ -29,7 +29,7 @@ fn setup(side: SidePointerMode) -> Scenario {
     let db = Database::create(Arc::clone(&disk) as Arc<dyn DiskManager>, 8192, side).unwrap();
     let records: Vec<(u64, Vec<u8>)> = (0..2000u64).map(|k| (k, val(k))).collect();
     db.tree().bulk_load(&records, 0.25, 0.9).unwrap();
-    db.checkpoint();
+    db.checkpoint().unwrap();
     let expected = db.tree().collect_all().unwrap();
     Scenario { disk, db, expected }
 }
@@ -178,7 +178,7 @@ fn recovery_is_idempotent() {
     // A second crash immediately after recovery (nothing new flushed)
     // must recover to the same state: redo + forward recovery are
     // idempotent.
-    db2.log().flush_all();
+    db2.log().flush_all().unwrap();
     db2.crash(|_| false).unwrap();
     let db3 = Database::reopen(
         Arc::clone(&sc.disk) as Arc<dyn DiskManager>,
@@ -336,7 +336,8 @@ fn log_truncation_respects_the_low_water_mark() {
                     .unwrap();
                 db.note_txn_lsn(txn, lsn);
                 db.log()
-                    .append_force(&obr_wal::LogRecord::TxnCommit { txn });
+                    .append_force(&obr_wal::LogRecord::TxnCommit { txn })
+                    .unwrap();
                 db.end_txn(txn);
             }
         }
@@ -349,7 +350,7 @@ fn log_truncation_respects_the_low_water_mark() {
     assert!(sc.db.log().len() < before);
     // Crash right after truncation: recovery still works from the
     // checkpoint the truncation wrote.
-    sc.db.log().flush_all();
+    sc.db.log().flush_all().unwrap();
     sc.db.crash(|_| false).unwrap();
     let db2 = Database::reopen(
         Arc::clone(&sc.disk) as Arc<dyn DiskManager>,
@@ -387,10 +388,11 @@ fn active_transaction_pins_the_low_water_mark() {
         sc.db.note_txn_lsn(t2, l);
         sc.db
             .log()
-            .append_force(&obr_wal::LogRecord::TxnCommit { txn: t2 });
+            .append_force(&obr_wal::LogRecord::TxnCommit { txn: t2 })
+            .unwrap();
         sc.db.end_txn(t2);
     }
-    sc.db.checkpoint();
+    sc.db.checkpoint().unwrap();
     // The open transaction's BEGIN precedes its first insert; the mark may
     // never pass it while the transaction lives.
     let mark_while_open = sc.db.log_low_water_mark();
@@ -399,7 +401,7 @@ fn active_transaction_pins_the_low_water_mark() {
         "{mark_while_open} vs {first_lsn}"
     );
     sc.db.end_txn(txn);
-    sc.db.checkpoint();
+    sc.db.checkpoint().unwrap();
     assert!(sc.db.log_low_water_mark() > mark_while_open);
 }
 

@@ -125,7 +125,7 @@ fn full_three_pass_run_shrinks_the_tree() {
 fn forward_recovery_completes_interrupted_unit() {
     let (disk, db) = sparse_db(4096, 2000, 0.25);
     let expected = db.tree().collect_all().unwrap();
-    db.checkpoint();
+    db.checkpoint().unwrap();
 
     // Crash mid-unit: after the first MOVE of the 3rd unit.
     let reorg = Reorganizer::new(Arc::clone(&db), cfg(false, false))
@@ -172,7 +172,7 @@ fn recovery_with_nothing_flushed_replays_all_work() {
     // Force the log (WAL) but flush no pages at all.
     let reorg = Reorganizer::new(Arc::clone(&db), cfg(false, false));
     reorg.pass1_compact().unwrap();
-    db.log().flush_all();
+    db.log().flush_all().unwrap();
     db.crash(|_| false).unwrap();
 
     let db2 = Database::reopen(

@@ -75,6 +75,9 @@ pub enum TraceKind {
     /// The daemon decided to run. `a` = bitmask of the decision:
     /// 1 = compacted, 2 = swapped, 4 = shrunk.
     DaemonRun,
+    /// A daemon cycle failed and will be retried next interval (the
+    /// thread survives). `a` = consecutive failures so far.
+    DaemonError,
 }
 
 impl TraceKind {
@@ -98,6 +101,7 @@ impl TraceKind {
             TraceKind::RecoveryEnd => "recovery_end",
             TraceKind::DaemonCycle => "daemon_cycle",
             TraceKind::DaemonRun => "daemon_run",
+            TraceKind::DaemonError => "daemon_error",
         }
     }
 }

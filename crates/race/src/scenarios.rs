@@ -1,4 +1,4 @@
-//! The five scripted concurrency scenarios the explorer replays.
+//! The six scripted concurrency scenarios the explorer replays.
 //!
 //! Each scenario is a plain `fn()` executed as thread 0 of a controlled
 //! run (see `obr_sync::model::run_controlled`); it spawns its worker
@@ -32,7 +32,7 @@ pub struct Scenario {
     pub run: fn(),
 }
 
-/// All five scenarios, in canonical order.
+/// All six scenarios, in canonical order.
 pub fn all() -> Vec<Scenario> {
     vec![
         Scenario {
@@ -44,6 +44,11 @@ pub fn all() -> Vec<Scenario> {
             name: "wal_watermark_file",
             about: "durable-watermark publication vs. invariant readers (file-backed)",
             run: wal_watermark_file,
+        },
+        Scenario {
+            name: "wal_truncate_vs_tail",
+            about: "checkpoint truncation + segment recycle racing tail readers",
+            run: wal_truncate_vs_tail,
         },
         Scenario {
             name: "pool_eviction_vs_flush",
@@ -92,7 +97,7 @@ fn wal_group_commit() {
                 for i in 0..2u64 {
                     last = log.append(&rec(t, t * 10 + i));
                 }
-                log.flush_to(last);
+                log.flush_to(last).expect("flush_to");
                 let durable = log.durable_lsn();
                 assert!(
                     durable >= last,
@@ -133,9 +138,9 @@ fn wal_watermark_file() {
         let log = Arc::clone(&log);
         thread::spawn(move || {
             let a = log.append(&rec(1, 1));
-            log.flush_to(a);
+            log.flush_to(a).expect("flush_to");
             let b = log.append(&rec(1, 2));
-            log.flush_to(b);
+            log.flush_to(b).expect("flush_to");
         })
     };
     let reader = {
@@ -157,7 +162,122 @@ fn wal_watermark_file() {
     let _ = std::fs::remove_file(&path);
 }
 
-/// Scenario 3: a tiny pool (capacity 2, 2 shards) forces evictions while
+static TRUNC_SCENARIO_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Scenario 3: checkpoint truncation racing tail readers on a segmented
+/// file-backed log. A writer appends and forces records (sealing tiny
+/// segments as it goes) while a truncator repeatedly advances the
+/// low-water mark ([`LogManager::truncate_before`]) and recycles sealed
+/// segment files, and a reader snapshots the tail with
+/// [`LogManager::records_from`]. Asserts the race documented on
+/// `truncate_before`: every reader snapshot is atomic (contiguous LSNs,
+/// no half-truncated view), `first_lsn` only moves forward, and the
+/// surviving segment catalog stays contiguous — a crash mid-recycle must
+/// never be able to leave a gap.
+fn wal_truncate_vs_tail() {
+    // relaxed: run-local file-name uniqueness counter; deliberately a raw
+    // std atomic so it is invisible to the model scheduler (it must not
+    // add scheduling decisions or vary between schedules).
+    let n = TRUNC_SCENARIO_RUNS.fetch_add(1, StdOrdering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("obr-race-waltrunc-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // 64-byte seal threshold: nearly every forced batch seals a segment,
+    // so recycling has files to delete while the writer is mid-stream.
+    let log = Arc::new(LogManager::open_dir(&dir, 64).expect("open segmented log"));
+    let writer = {
+        let log = Arc::clone(&log);
+        thread::spawn(move || {
+            for i in 0..5u64 {
+                let lsn = log.append(&rec(1, i));
+                log.flush_to(lsn).expect("flush_to");
+            }
+        })
+    };
+    let truncator = {
+        let log = Arc::clone(&log);
+        thread::spawn(move || {
+            for _ in 0..2 {
+                // A real checkpoint truncates at its low-water mark; any
+                // durable LSN is a legal mark for the race's purposes.
+                log.truncate_before(log.durable_lsn());
+                log.recycle_segments().expect("recycle_segments");
+                thread::yield_now();
+            }
+        })
+    };
+    let reader = {
+        let log = Arc::clone(&log);
+        thread::spawn(move || {
+            let mut floor = obr_storage::Lsn::ZERO;
+            for _ in 0..4 {
+                let first = log.first_lsn();
+                assert!(
+                    first >= floor,
+                    "first_lsn moved backwards: {first:?} after {floor:?}"
+                );
+                floor = first;
+                let recs = log.records_from(obr_storage::Lsn(1)).expect("records_from");
+                if let Some((lo, _)) = recs.first() {
+                    assert!(
+                        *lo >= floor,
+                        "tail snapshot starts at {lo:?}, below first_lsn {floor:?}"
+                    );
+                    for (i, (lsn, _)) in recs.iter().enumerate() {
+                        assert_eq!(
+                            lsn.0,
+                            lo.0 + i as u64,
+                            "gap in a tail snapshot: truncation tore records_from"
+                        );
+                    }
+                }
+                thread::yield_now();
+            }
+        })
+    };
+    writer.join().unwrap();
+    truncator.join().unwrap();
+    reader.join().unwrap();
+
+    // Quiesced: one more truncate+recycle, then the survivors must line up.
+    log.truncate_before(log.durable_lsn());
+    log.recycle_segments().expect("final recycle");
+    assert_eq!(
+        log.durable_lsn(),
+        obr_storage::Lsn(5),
+        "all 5 records durable"
+    );
+    let recs = log
+        .records_from(obr_storage::Lsn(1))
+        .expect("final records_from");
+    assert_eq!(
+        recs.first().map(|(l, _)| *l),
+        Some(log.first_lsn()),
+        "retained tail must start exactly at first_lsn"
+    );
+    assert_eq!(
+        recs.last().map(|(l, _)| *l),
+        Some(log.durable_lsn()),
+        "retained tail must reach the durable watermark"
+    );
+    let cat = log.segment_catalog();
+    assert_eq!(
+        cat.first().map(|s| s.first_lsn),
+        Some(log.first_lsn()),
+        "oldest surviving segment must start at first_lsn (no over- or \
+         under-recycle)"
+    );
+    for w in cat.windows(2) {
+        assert_eq!(
+            w[1].first_lsn.0,
+            w[0].end_lsn.0 + 1,
+            "segment catalog gap after concurrent recycle"
+        );
+    }
+    drop(log);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Scenario 4: a tiny pool (capacity 2, 2 shards) forces evictions while
 /// a second thread flushes pages by id. Asserts residency never exceeds
 /// capacity and that every written page's first byte reaches the disk
 /// image after the final flush. A WAL is attached so every write-back
@@ -219,7 +339,7 @@ fn pool_eviction_vs_flush() {
     }
 }
 
-/// Scenario 4: one thread appends side-file entries (reorganizer pass 2)
+/// Scenario 5: one thread appends side-file entries (reorganizer pass 2)
 /// while another drains them front-to-back (pass-3 catch-up). Asserts
 /// the drain sees every appended entry exactly once, in order.
 fn sidefile_append_vs_drain() {
@@ -273,7 +393,7 @@ fn sidefile_append_vs_drain() {
     assert_eq!(log.len(), 8, "every append and drain is logged");
 }
 
-/// Scenario 5: the reorganizer daemon's deadlock-retry protocol against a
+/// Scenario 6: the reorganizer daemon's deadlock-retry protocol against a
 /// transaction acquiring the same two pages in the opposite order (the
 /// undo path's reverse traversal). The reorganizer is the registered —
 /// and therefore preferred — deadlock victim: it must be the one that

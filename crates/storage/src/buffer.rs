@@ -48,8 +48,10 @@ use crate::page::{Lsn, Page, PageId};
 
 /// Hook the buffer pool uses to enforce write-ahead logging.
 pub trait WalFlush: Send + Sync {
-    /// Make the log durable up to and including `lsn`.
-    fn flush_to(&self, lsn: Lsn);
+    /// Make the log durable up to and including `lsn`. An error means the
+    /// log could NOT be made durable; the caller must not write the
+    /// dependent page.
+    fn flush_to(&self, lsn: Lsn) -> StorageResult<()>;
 }
 
 /// Upper bound on the shard count (beyond ~64 the shard array itself stops
@@ -507,7 +509,7 @@ impl BufferPool {
         }
         let page = frame.data.read();
         if let Some(wal) = self.wal.read().clone() {
-            wal.flush_to(page.lsn());
+            wal.flush_to(page.lsn())?;
         }
         self.disk.write_page(id, &page)?;
         frame.dirty.store(false, Ordering::Release);
@@ -872,8 +874,9 @@ mod tests {
             max_flushed: AtomicU64,
         }
         impl WalFlush for Probe {
-            fn flush_to(&self, lsn: Lsn) {
+            fn flush_to(&self, lsn: Lsn) -> StorageResult<()> {
                 self.max_flushed.fetch_max(lsn.0, Ordering::SeqCst);
+                Ok(())
             }
         }
         let (_disk, pool) = pool(4, 4);
@@ -935,9 +938,9 @@ mod tests {
             fired: AtomicBool,
         }
         impl WalFlush for InsertOnFlush {
-            fn flush_to(&self, _lsn: Lsn) {
+            fn flush_to(&self, _lsn: Lsn) -> StorageResult<()> {
                 if self.fired.swap(true, Ordering::SeqCst) {
-                    return;
+                    return Ok(());
                 }
                 if let Some(pool) = self.pool.upgrade() {
                     // Highest page id: lands in the last-visited slot of its
@@ -945,6 +948,7 @@ mod tests {
                     let g = pool.fetch(PageId(255)).unwrap();
                     g.write().set_low_mark(4242);
                 }
+                Ok(())
             }
         }
         let disk = Arc::new(InMemoryDisk::new(256));

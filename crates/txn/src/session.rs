@@ -331,7 +331,12 @@ impl Txn {
     /// write+fsync instead of serializing on the log file.
     pub fn commit(mut self) -> TxnResult<()> {
         let commit_lsn = self.db.log().append(&LogRecord::TxnCommit { txn: self.id });
-        self.db.log().flush_to(commit_lsn);
+        // If the force fails the commit is NOT durable: surface the error
+        // before releasing locks so the caller can retry or abort.
+        self.db
+            .log()
+            .flush_to(commit_lsn)
+            .map_err(CoreError::Storage)?;
         self.db.end_txn(self.id);
         self.db.locks().release_all(self.owner);
         self.finished = true;

@@ -18,6 +18,7 @@ pub mod log;
 pub mod reader;
 pub mod record;
 pub mod reorg_table;
+pub mod segment;
 
 pub use log::{LogManager, LogStats, SyncStats};
 pub use reader::{LogReader, ScanOutcome, TornReason, TornTail};
@@ -26,3 +27,4 @@ pub use record::{
     UnitId,
 };
 pub use reorg_table::ReorgStateTable;
+pub use segment::SegmentMeta;

@@ -33,7 +33,7 @@ fn concurrent_committers_batch_into_at_most_k_fsyncs() {
                     let lsn = log.append(&LogRecord::TxnCommit {
                         txn: TxnId(t * COMMITS_PER_THREAD + i + 1),
                     });
-                    log.flush_to(lsn);
+                    log.flush_to(lsn).unwrap();
                     assert!(
                         log.durable_lsn() >= lsn,
                         "thread {t} commit {i}: durable {} < requested {lsn}",
@@ -75,7 +75,7 @@ fn single_wave_of_committers_never_exceeds_k_fsyncs() {
             s.spawn(move || {
                 let lsn = log.append(&LogRecord::TxnCommit { txn: TxnId(t + 1) });
                 barrier.wait();
-                log.flush_to(lsn);
+                log.flush_to(lsn).unwrap();
                 assert!(log.durable_lsn() >= lsn);
             });
         }

@@ -25,7 +25,7 @@ fn main() {
     println!("loading a sparse tree...");
     let records: Vec<(u64, Vec<u8>)> = (0..8000u64).map(|k| (k, vec![k as u8; 64])).collect();
     db.tree().bulk_load(&records, 0.25, 0.9).expect("bulk load");
-    db.checkpoint();
+    db.checkpoint().unwrap();
     let expected = db.tree().collect_all().expect("snapshot");
 
     // Reorganize with a fail point: "power fails" right after the second

@@ -1,13 +1,14 @@
 //! Interactive shell over a durable obr database.
 //!
 //! ```text
-//! obr-cli <dir> [--pages N]
+//! obr-cli <dir> [--pages N] [--segment-bytes B]
 //! obr-cli check <dir> [--tree] [--locks] [--wal] [--all] [--live]
-//! obr-cli check --crash [--budget N] [--seed S] [--report PATH]
+//! obr-cli check --crash [--budget N] [--seed S] [--segment-bytes B] [--report PATH]
 //! obr-cli check --lint [--root DIR]
 //! obr-cli stats <dir> [--json]
 //! obr-cli stats --workload [--json] [--keep DIR]
 //! obr-cli trace [--out PATH]
+//! obr-cli replica <dir> [--json]
 //! ```
 //!
 //! Shell commands: `put K V`, `get K`, `del K`, `scan LO HI`, `stats`,
@@ -23,13 +24,15 @@
 //! |-------------------|----------------------------------------------------|
 //! | `check <dir>`     | files under `<dir>` without opening the database:  |
 //! |                   | tree fsck over `pages.db` (`--tree`), WAL linter   |
-//! |                   | over `wal.log` (`--wal`), lock-protocol model      |
+//! |                   | over the segment dir `wal/` (or a legacy `wal.log` |
+//! |                   | file) via `--wal`, lock-protocol model             |
 //! |                   | checker (`--locks`, needs no files); default `--all` |
 //! | `check <dir> --live` | opens and recovers the database, then walks the |
 //! |                   | live sharded buffer pool (non-perturbing)          |
 //! | `check --crash`   | exhaustive crash-consistency checker over scripted |
 //! |                   | workloads; `--budget N --seed S` picks a           |
-//! |                   | deterministic sample for CI                        |
+//! |                   | deterministic sample for CI, `--segment-bytes B`   |
+//! |                   | sets the segmented-WAL scenario's seal threshold   |
 //! | `check --lint`    | concurrency source lint over the workspace tree at |
 //! |                   | `--root DIR` (default `.`): unjustified            |
 //! |                   | `Ordering::Relaxed`, raw `std::sync`/`parking_lot` |
@@ -51,6 +54,16 @@
 //! [`obr::workloads::scripted_reorg_trace`] and emits its structured trace
 //! as JSON Lines — one event per line, schema documented in DESIGN.md — to
 //! stdout or to `--out PATH`.
+//!
+//! `replica <dir>` bootstraps a log-shipping read replica from the durable
+//! files of the primary database under `<dir>` (never modifying them) and
+//! catches it up by ingesting every WAL segment, then prints the shipping
+//! progress — applied LSN, records/segments applied, checkpoints and tree
+//! switches followed, keys visible — as a table or (`--json`) one JSON
+//! object; CI uploads the JSON as the replica-lag artifact. When creating
+//! a database, the shell's `--segment-bytes B` sets the WAL seal
+//! threshold, so a small value forces the workload to seal segments for
+//! the replica to ship.
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
@@ -60,8 +73,8 @@ use obr::core::{recover, Database, ReorgConfig, ReorgTrigger, Reorganizer};
 use obr::txn::{Session, TxnError};
 
 /// `obr-cli check <dir> [--tree] [--locks] [--wal] [--all] [--live]`,
-/// `obr-cli check --crash [--budget N] [--seed S] [--report PATH]`, or
-/// `obr-cli check --lint [--root DIR]`.
+/// `obr-cli check --crash [--budget N] [--seed S] [--segment-bytes B]
+/// [--report PATH]`, or `obr-cli check --lint [--root DIR]`.
 ///
 /// Selecting no family is the same as `--all`. With `--live` the database is
 /// opened and recovered first, and the tree fsck walks the live sharded
@@ -69,7 +82,8 @@ use obr::txn::{Session, TxnError};
 /// of the raw page file — this is what a post-stress-run health check uses.
 /// `--crash` needs no `<dir>`: it enumerates crash states of its own
 /// scripted workloads (exhaustive by default; `--budget`/`--seed` pick a
-/// deterministic sample) and optionally writes the full report to
+/// deterministic sample; `--segment-bytes` sets the segmented-WAL
+/// scenario's seal threshold) and optionally writes the full report to
 /// `--report PATH`. `--lint` also needs no `<dir>`: it walks the `.rs`
 /// sources under `--root DIR` (default the current directory) with the
 /// concurrency source lint of [`obr::check::lint_sources`] and validates
@@ -78,7 +92,8 @@ use obr::txn::{Session, TxnError};
 /// non-zero only for error-severity findings.
 fn run_check(args: &[String]) -> ! {
     const USAGE: &str = "usage: obr-cli check <dir> [--tree] [--locks] [--wal] [--all] [--live]\n\
-                         \x20      obr-cli check --crash [--budget N] [--seed S] [--report PATH]\n\
+                         \x20      obr-cli check --crash [--budget N] [--seed S] \
+                         [--segment-bytes B] [--report PATH]\n\
                          \x20      obr-cli check --lint [--root DIR]";
     let mut dir: Option<std::path::PathBuf> = None;
     let (mut tree, mut locks, mut wal, mut live, mut crash) = (false, false, false, false, false);
@@ -86,6 +101,7 @@ fn run_check(args: &[String]) -> ! {
     let mut root: Option<std::path::PathBuf> = None;
     let mut budget: Option<usize> = None;
     let mut seed: u64 = 1;
+    let mut segment_bytes: Option<u64> = None;
     let mut report_path: Option<std::path::PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -122,6 +138,13 @@ fn run_check(args: &[String]) -> ! {
                     std::process::exit(2);
                 }
             },
+            "--segment-bytes" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => segment_bytes = Some(n),
+                None => {
+                    eprintln!("--segment-bytes needs a number\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
             "--report" => match it.next() {
                 Some(p) => report_path = Some(std::path::PathBuf::from(p)),
                 None => {
@@ -154,19 +177,23 @@ fn run_check(args: &[String]) -> ! {
     }
     if crash {
         println!("== crash-consistency check");
-        let opts = obr::check::CrashCheckOptions {
+        let mut opts = obr::check::CrashCheckOptions {
             budget,
             seed,
             ..obr::check::CrashCheckOptions::default()
         };
+        if let Some(b) = segment_bytes {
+            opts.segment_bytes = b;
+        }
         let out = obr::check::run_crash_check(&opts);
         print!("{}", out.report);
         println!(
-            "coverage: {}/{} crash states, {} torn tails, {} forward completions, \
-             {} pass-3 resumes",
+            "coverage: {}/{} crash states, {} torn tails, {} segment states, \
+             {} forward completions, {} pass-3 resumes",
             out.stats.states_checked,
             out.stats.crash_states,
             out.stats.torn_tails_checked,
+            out.stats.segment_states_checked,
             out.stats.forward_units_completed,
             out.stats.pass3_resumes
         );
@@ -229,9 +256,16 @@ fn run_check(args: &[String]) -> ! {
         }
     }
     if wal {
-        let path = dir.as_ref().unwrap().join("wal.log");
+        // Prefer the segmented layout; fall back to a legacy single file.
+        let base = dir.as_ref().unwrap();
+        let wal_dir = base.join("wal");
+        let path = if wal_dir.is_dir() {
+            wal_dir
+        } else {
+            base.join("wal.log")
+        };
         println!("== wal lint: {}", path.display());
-        match obr::check::lint_wal_file(&path, &obr::check::WalLintOptions::default()) {
+        match obr::check::lint_wal_path(&path, &obr::check::WalLintOptions::default()) {
             Ok(r) => report.merge(r),
             Err(e) => {
                 eprintln!("cannot read {}: {e}", path.display());
@@ -404,6 +438,94 @@ fn run_trace(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `obr-cli replica <dir> [--json]`: catch a log-shipping read replica up
+/// from the primary's durable files, offline.
+///
+/// The replica bootstraps from a scratch copy of the primary's page file
+/// (its last flushed state), declares everything below the oldest
+/// surviving WAL segment already materialized, then ingests every segment
+/// under `<dir>/wal/` — sealed segments whole, the active segment's intact
+/// prefix — through the same page-LSN-gated redo recovery uses. Nothing
+/// under `<dir>` is modified. Prints the shipping progress (applied LSN,
+/// records/segments applied, checkpoints and tree switches followed, keys
+/// visible); `--json` emits the same as one JSON object, which CI uploads
+/// as the replica-lag artifact. Exits 2 when the catch-up fails — e.g. a
+/// torn sealed segment, or a shipping gap that requires re-seeding.
+fn run_replica(args: &[String]) -> ! {
+    const USAGE: &str = "usage: obr-cli replica <dir> [--json]";
+    let mut dir: Option<std::path::PathBuf> = None;
+    let mut json = false;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            other if !other.starts_with("--") && dir.is_none() => {
+                dir = Some(std::path::PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unknown replica argument {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let wal_dir = dir.join("wal");
+    let scratch = std::env::temp_dir().join(format!("obr-replica-{}", std::process::id()));
+    let outcome = (|| -> Result<(), Box<dyn std::error::Error>> {
+        std::fs::create_dir_all(&scratch)?;
+        std::fs::copy(dir.join("pages.db"), scratch.join("pages.db"))?;
+        let disk = Arc::new(obr::storage::FileDisk::open(&scratch.join("pages.db"), 1)?);
+        let db = Database::reopen(
+            disk as Arc<dyn obr::storage::DiskManager>,
+            Arc::new(obr::wal::LogManager::new()),
+            1024,
+            SidePointerMode::TwoWay,
+        )?;
+        let replica = obr::core::Replica::over(db);
+        // The snapshot already holds everything below the oldest surviving
+        // segment (the primary checkpointed before recycling it).
+        if let Some((first, _)) = obr::wal::segment::list_segments(&wal_dir)?.first() {
+            replica.set_applied_floor(obr::storage::Lsn(first.0.saturating_sub(1)));
+        }
+        let applied = replica.ingest_dir(&wal_dir)?;
+        let keys = replica.scan_all()?.len();
+        let snap = replica.database().metrics_snapshot()?;
+        let segments = snap.counter("replica_segments_ingested");
+        let lag = snap.gauge("replica_lag");
+        if json {
+            println!(
+                "{{\"applied_lsn\":{},\"records_applied\":{applied},\
+                 \"segments_ingested\":{},\"checkpoints_seen\":{},\
+                 \"tree_switches\":{},\"keys\":{keys},\"replica_lag\":{}}}",
+                replica.applied_lsn().0,
+                segments,
+                replica.checkpoints_seen(),
+                replica.switches_seen(),
+                lag,
+            );
+        } else {
+            println!("replica caught up from {}", wal_dir.display());
+            println!("  applied LSN        {}", replica.applied_lsn());
+            println!("  records applied    {applied}");
+            println!("  segments ingested  {segments}");
+            println!("  checkpoints seen   {}", replica.checkpoints_seen());
+            println!("  tree switches      {}", replica.switches_seen());
+            println!("  keys visible       {keys}");
+        }
+        Ok(())
+    })();
+    let _ = std::fs::remove_dir_all(&scratch);
+    match outcome {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("replica catch-up failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("check") {
@@ -415,15 +537,23 @@ fn main() {
     if raw.first().map(String::as_str) == Some("trace") {
         run_trace(&raw[1..]);
     }
+    if raw.first().map(String::as_str) == Some("replica") {
+        run_replica(&raw[1..]);
+    }
     let mut args = raw.into_iter();
     let Some(dir) = args.next() else {
         eprintln!("usage: obr-cli <dir> [--pages N]  |  obr-cli check <dir> [--all]");
         std::process::exit(2);
     };
     let mut pages = 16_384u32;
+    let mut cfg = obr::core::EngineConfig::default();
     while let Some(a) = args.next() {
         if a == "--pages" {
             pages = args.next().and_then(|s| s.parse().ok()).unwrap_or(16_384);
+        } else if a == "--segment-bytes" {
+            if let Some(b) = args.next().and_then(|s| s.parse().ok()) {
+                cfg.wal_segment_bytes = b;
+            }
         }
     }
     let dir = std::path::PathBuf::from(dir);
@@ -438,7 +568,7 @@ fn main() {
         db
     } else {
         println!("creating new database in {} ({pages} pages)", dir.display());
-        Database::create_durable(&dir, pages, 1024, SidePointerMode::TwoWay)
+        Database::create_durable_with_config(&dir, pages, 1024, SidePointerMode::TwoWay, cfg)
             .expect("create database")
     };
     let session = Session::new(Arc::clone(&db));
@@ -529,10 +659,10 @@ fn main() {
                     Err(e) => println!("error: {e}"),
                 }
             }
-            ["checkpoint"] => {
-                let lsn = db.checkpoint();
-                println!("checkpoint at LSN {lsn}");
-            }
+            ["checkpoint"] => match db.checkpoint() {
+                Ok(lsn) => println!("checkpoint at LSN {lsn}"),
+                Err(e) => println!("error: {e}"),
+            },
             ["truncate-log"] => match db.truncate_log() {
                 Ok(n) => println!("dropped {n} log records"),
                 Err(e) => println!("error: {e}"),
@@ -543,6 +673,8 @@ fn main() {
         std::io::stdout().flush().ok();
     }
     // Leave the files consistent for the next run.
-    db.checkpoint();
+    if let Err(e) = db.checkpoint() {
+        println!("final checkpoint failed: {e}");
+    }
     println!("bye");
 }

@@ -145,7 +145,7 @@ pub fn mixed_reorg_workload(dir: &Path) -> CoreResult<Arc<Database>> {
             break;
         }
     }
-    db.checkpoint();
+    db.checkpoint()?;
     Ok(db)
 }
 

@@ -78,7 +78,7 @@ fn pass3_crash_resumes_from_stable_key() {
     db.tree().bulk_load(&records, 0.9, 0.05).unwrap();
     let before = db.tree().stats().unwrap();
     assert!(before.height >= 2);
-    db.checkpoint();
+    db.checkpoint().unwrap();
     let expected = db.tree().collect_all().unwrap();
 
     // Crash after the second stable point.
@@ -132,7 +132,7 @@ fn crash_between_passes_preserves_everything() {
     let (disk, db) = fresh(16_384);
     let records: Vec<(u64, Vec<u8>)> = (0..4000u64).map(|k| (k, vec![1u8; 64])).collect();
     db.tree().bulk_load(&records, 0.3, 0.9).unwrap();
-    db.checkpoint();
+    db.checkpoint().unwrap();
     let expected = db.tree().collect_all().unwrap();
     let cfg = ReorgConfig {
         swap_pass: false,
@@ -144,7 +144,7 @@ fn crash_between_passes_preserves_everything() {
         .unwrap();
     // Crash with NOTHING extra flushed (the log is volatile past the last
     // force); recovery must replay the whole pass from the log.
-    db.log().flush_all();
+    db.log().flush_all().unwrap();
     db.crash(|_| false).unwrap();
     let db2 = Database::reopen(
         Arc::clone(&disk) as Arc<dyn DiskManager>,
@@ -165,12 +165,12 @@ fn aborted_transactions_never_survive_recovery() {
     for k in 0..100u64 {
         s.insert(k, b"committed").unwrap();
     }
-    db.checkpoint();
+    db.checkpoint().unwrap();
     // An in-flight transaction dies with the crash.
     let mut t = s.begin();
     t.insert(1000, b"uncommitted").unwrap();
     t.delete(5).unwrap();
-    db.log().flush_all(); // even if its records reached the durable log
+    db.log().flush_all().unwrap(); // even if its records reached the durable log
     std::mem::forget(t); // crash before commit
     db.crash(|_| true).unwrap();
     let db2 = Database::reopen(
@@ -322,7 +322,7 @@ fn pass3_crash_during_catchup_resumes_after_build_finished() {
     let records: Vec<(u64, Vec<u8>)> = (0..8000u64).map(|k| (k, vec![8u8; 64])).collect();
     db.tree().bulk_load(&records, 0.9, 0.1).unwrap();
     let before = db.tree().stats().unwrap();
-    db.checkpoint();
+    db.checkpoint().unwrap();
     let expected = db.tree().collect_all().unwrap();
     // Crash after the build finished but before the switch.
     let cfg = ReorgConfig {
@@ -375,7 +375,7 @@ fn durable_database_restarts_from_files() {
                 s.delete(k).unwrap();
             }
         }
-        db.checkpoint();
+        db.checkpoint().unwrap();
         expected = db.tree().collect_all().unwrap();
         let cfg = ReorgConfig {
             swap_pass: false,
@@ -385,8 +385,8 @@ fn durable_database_restarts_from_files() {
         let reorg = Reorganizer::new(Arc::clone(&db), cfg)
             .with_fail_point(FailPoint::new(FailSite::AfterFirstMove, 1));
         let _ = reorg.pass1_compact().unwrap_err();
-        db.log().flush_all(); // the WAL contract: the log is durable
-                              // Drop everything without flushing pages: the "process" dies here.
+        db.log().flush_all().unwrap(); // the WAL contract: the log is durable
+                                       // Drop everything without flushing pages: the "process" dies here.
     }
     {
         // Process 2: restart purely from the files on disk.
@@ -400,7 +400,7 @@ fn durable_database_restarts_from_files() {
             .run()
             .unwrap();
         db.pool().flush_all().unwrap();
-        db.log().flush_all();
+        db.log().flush_all().unwrap();
     }
     {
         // Process 3: clean restart sees the reorganized tree.
@@ -443,7 +443,7 @@ fn soak_churn_reorganize_crash_cycles() {
                 let _ = s.delete(k);
             }
         }
-        db.checkpoint();
+        db.checkpoint().unwrap();
         let expected = db.tree().collect_all().unwrap();
         // Reorganize with a crash in the middle of pass 1.
         let cfg = ReorgConfig::default();

@@ -1,0 +1,174 @@
+//! Log-shipping replica: sealed-segment ingest, tail streaming, and
+//! following the primary through checkpoints and a live pass-3 tree
+//! switch. The acceptance shape: after shipping, the replica's scan is
+//! byte-identical to the primary's committed snapshot.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use obr_btree::SidePointerMode;
+use obr_core::{Database, EngineConfig, ReorgConfig, Reorganizer, Replica};
+use obr_txn::Session;
+
+/// A scratch directory removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("obr-replica-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+const PAGES: u32 = 4096;
+const FRAMES: usize = 1024;
+
+/// A durable primary with a tiny segment threshold so workloads seal
+/// several segments, paired with a same-geometry replica.
+fn primary_and_replica(tag: &str) -> (Scratch, Arc<Database>, Replica) {
+    let scratch = Scratch::new(tag);
+    let db = Database::create_durable_with_config(
+        scratch.path(),
+        PAGES,
+        FRAMES,
+        SidePointerMode::TwoWay,
+        EngineConfig {
+            wal_segment_bytes: 2048,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    let replica = Replica::new(PAGES, FRAMES, SidePointerMode::TwoWay).unwrap();
+    (scratch, db, replica)
+}
+
+#[test]
+fn replica_follows_sealed_segments_and_tail() {
+    let (scratch, db, replica) = primary_and_replica("basic");
+    let session = Session::new(Arc::clone(&db));
+    for k in 0..300u64 {
+        session.insert(k, &[0x21; 48]).unwrap();
+    }
+    db.log().flush_all().unwrap();
+    assert!(
+        db.log().segment_catalog().len() >= 2,
+        "workload must seal at least one segment, got {:?}",
+        db.log().segment_catalog().len()
+    );
+
+    // Out-of-process path: ship the files.
+    let shipped = replica.ingest_dir(&scratch.path().join("wal")).unwrap();
+    assert!(shipped > 0);
+    // In-process path: stream whatever the files missed.
+    replica.sync_from(db.log()).unwrap();
+    assert_eq!(replica.lag(db.log()), 0);
+    assert_eq!(replica.applied_lsn(), db.log().durable_lsn());
+
+    assert_eq!(
+        replica.scan_all().unwrap(),
+        db.tree().collect_all().unwrap()
+    );
+    assert_eq!(replica.get(123).unwrap(), Some(vec![0x21; 48]));
+    assert_eq!(replica.get(300).unwrap(), None);
+    assert_eq!(replica.scan(10, 20).unwrap().len(), 11);
+
+    let snap = replica.database().metrics().snapshot();
+    assert_eq!(snap.gauge("replica_applied_lsn"), replica.applied_lsn().0);
+    assert!(snap.counter("replica_records_applied") >= shipped);
+    assert!(snap.counter("replica_segments_ingested") >= 1);
+}
+
+#[test]
+fn replica_follows_a_live_pass3_switch() {
+    let (_scratch, db, replica) = primary_and_replica("switch");
+    let session = Session::new(Arc::clone(&db));
+    for k in 0..800u64 {
+        session.insert(k, &[0x37; 40]).unwrap();
+    }
+    // Punch holes so every pass has work, and checkpoint mid-history so the
+    // replica crosses a checkpoint record too.
+    for k in 0..800u64 {
+        if k % 4 != 0 {
+            session.delete(k).unwrap();
+        }
+    }
+    db.checkpoint().unwrap();
+    let reorg = Reorganizer::new(Arc::clone(&db), ReorgConfig::default());
+    reorg.run().unwrap();
+    db.log().flush_all().unwrap();
+
+    replica.sync_from(db.log()).unwrap();
+    assert_eq!(replica.lag(db.log()), 0);
+    assert!(
+        replica.switches_seen() >= 1,
+        "the reorganization must have switched trees"
+    );
+    assert!(replica.checkpoints_seen() >= 1);
+    // The replica's reads run against the *new* tree, matching the primary.
+    assert_eq!(
+        replica.scan_all().unwrap(),
+        db.tree().collect_all().unwrap()
+    );
+    replica.database().tree().validate().unwrap();
+
+    // More writes after the switch keep shipping cleanly.
+    for k in 1000..1100u64 {
+        session.insert(k, &[0x55; 32]).unwrap();
+    }
+    db.log().flush_all().unwrap();
+    replica.sync_from(db.log()).unwrap();
+    assert_eq!(
+        replica.scan_all().unwrap(),
+        db.tree().collect_all().unwrap()
+    );
+}
+
+#[test]
+fn replica_that_missed_recycled_segments_reports_it() {
+    let (_scratch, db, replica) = primary_and_replica("behind");
+    let session = Session::new(Arc::clone(&db));
+    for k in 0..300u64 {
+        session.insert(k, &[0x44; 48]).unwrap();
+    }
+    // Checkpoint + truncate: sealed segments below the low-water mark are
+    // recycled before the replica ever saw them.
+    db.truncate_log().unwrap();
+    assert!(
+        db.log().first_lsn().0 > 1,
+        "truncation must have dropped a segment for this test to bite"
+    );
+    let err = replica.sync_from(db.log()).unwrap_err();
+    assert!(
+        err.to_string().contains("re-seed"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn sealed_segment_ingest_rejects_torn_files() {
+    let (scratch, db, replica) = primary_and_replica("torn");
+    let session = Session::new(Arc::clone(&db));
+    for k in 0..300u64 {
+        session.insert(k, &[0x66; 48]).unwrap();
+    }
+    db.log().flush_all().unwrap();
+    let segments = obr_wal::segment::list_segments(&scratch.path().join("wal")).unwrap();
+    assert!(segments.len() >= 2);
+    // Chop the first sealed segment mid-record and ship it.
+    let (_, sealed) = &segments[0];
+    let bytes = std::fs::read(sealed).unwrap();
+    std::fs::write(sealed, &bytes[..bytes.len() - 3]).unwrap();
+    let err = replica.ingest_segment(sealed).unwrap_err();
+    assert!(err.to_string().contains("torn"), "unexpected error: {err}");
+}
