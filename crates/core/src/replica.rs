@@ -139,7 +139,19 @@ impl Replica {
             if *lsn <= p.applied {
                 continue;
             }
-            if lsn.0 != p.applied.0 + 1 && p.applied != Lsn::ZERO {
+            if lsn.0 != p.applied.0 + 1 {
+                // applied == ZERO with a first record past LSN 1 is still a
+                // gap: the history below it was recycled unseen, and
+                // applying from mid-history would silently diverge. A
+                // snapshot bootstrap must declare its floor first.
+                if p.applied == Lsn::ZERO {
+                    return Err(CoreError::Recovery(format!(
+                        "replication gap: first shipped record is LSN {lsn} but \
+                         this replica has no applied floor; re-seed from a \
+                         snapshot (set_applied_floor) before ingesting a \
+                         recycled log"
+                    )));
+                }
                 return Err(CoreError::Recovery(format!(
                     "replication gap: next record is LSN {lsn}, applied through {}",
                     p.applied

@@ -331,12 +331,18 @@ impl Txn {
     /// write+fsync instead of serializing on the log file.
     pub fn commit(mut self) -> TxnResult<()> {
         let commit_lsn = self.db.log().append(&LogRecord::TxnCommit { txn: self.id });
-        // If the force fails the commit is NOT durable: surface the error
-        // before releasing locks so the caller can retry or abort.
-        self.db
-            .log()
-            .flush_to(commit_lsn)
-            .map_err(CoreError::Storage)?;
+        if let Err(e) = self.db.log().flush_to(commit_lsn) {
+            // The force failed, but the commit record already sits in the
+            // in-memory log: any later successful batch (another
+            // committer's group commit, a checkpoint) would make it durable
+            // and silently commit a transaction we are about to report as
+            // failed. Roll back while the locks are still held — the CLRs
+            // and TxnAbort land after the commit record, so whatever
+            // durability the log eventually reaches, this transaction ends
+            // aborted.
+            let _ = self.rollback();
+            return Err(TxnError::Engine(CoreError::Storage(e)));
+        }
         self.db.end_txn(self.id);
         self.db.locks().release_all(self.owner);
         self.finished = true;
@@ -345,6 +351,13 @@ impl Txn {
 
     /// Abort: roll back via the prev-LSN chain with compensation records.
     pub fn abort(mut self) -> TxnResult<()> {
+        self.rollback()
+    }
+
+    /// Undo every change via the prev-LSN chain (writing CLRs), append
+    /// `TxnAbort`, then release locks. Shared by [`Self::abort`] and the
+    /// commit path when the commit-record force fails.
+    fn rollback(&mut self) -> TxnResult<()> {
         let mut cur = self.prev_lsn;
         while cur != Lsn::ZERO {
             let Some(rec) = self.db.log().read(cur).map_err(CoreError::Storage)? else {
@@ -421,6 +434,34 @@ mod tests {
         let db =
             Database::create(disk as Arc<dyn DiskManager>, 1024, SidePointerMode::TwoWay).unwrap();
         Session::new(db)
+    }
+
+    #[test]
+    fn failed_commit_force_rolls_the_transaction_back() {
+        let s = session();
+        s.insert(1, b"base").unwrap();
+        let db = Arc::clone(s.db());
+        let mut t = s.begin();
+        t.insert(2, b"doomed").unwrap();
+        t.delete(1).unwrap();
+        // Poison the log so the commit-record force fails: the commit must
+        // come back Err AND the transaction's effects must be gone — a
+        // lingering in-memory commit record would otherwise be made durable
+        // by the next successful batch.
+        db.log().poison();
+        assert!(t.commit().is_err());
+        assert_eq!(db.tree().search(2).unwrap(), None, "insert undone");
+        assert_eq!(
+            db.tree().search(1).unwrap().as_deref(),
+            Some(b"base".as_slice()),
+            "delete undone"
+        );
+        // Locks were released by the rollback: another writer proceeds
+        // (its commit cannot force the poisoned log, but its X lock grant
+        // is what proves release).
+        let mut t2 = s.begin();
+        t2.insert(3, b"unblocked").unwrap();
+        assert!(t2.commit().is_err());
     }
 
     #[test]

@@ -191,14 +191,16 @@ struct IoState {
 
 impl IoState {
     /// A legacy (single-file or memory-only) io state: never seals.
-    fn plain(file: Option<File>, file_next: Lsn) -> IoState {
+    /// `active_bytes` must equal the backing file's current length — it is
+    /// the known-good offset flush errors roll the file back to.
+    fn plain(file: Option<File>, file_next: Lsn, active_bytes: u64) -> IoState {
         IoState {
             file,
             file_next,
             dir: None,
             seg_bytes: u64::MAX,
             active_first: Lsn(1),
-            active_bytes: 0,
+            active_bytes,
             sealed: Vec::new(),
         }
     }
@@ -225,6 +227,11 @@ pub struct LogManager {
     /// Highest durable LSN — readable without any lock.
     durable: AtomicU64,
     group_commit: AtomicBool,
+    /// Set when a flush I/O failure left the backing file in a state a
+    /// retry cannot safely build on (see [`Self::poison`]). Once set,
+    /// every durability call fails; appends stay available so aborts can
+    /// still be recorded in memory.
+    poisoned: AtomicBool,
     metrics: WalMetrics,
 }
 
@@ -267,9 +274,9 @@ fn sabotage_early_watermark() -> bool {
 }
 
 impl LogManager {
-    fn assemble(mem: LogMem, file: Option<File>, durable: Lsn) -> LogManager {
+    fn assemble(mem: LogMem, file: Option<File>, durable: Lsn, file_bytes: u64) -> LogManager {
         let file_next = Lsn(durable.0 + 1);
-        Self::assemble_io(mem, IoState::plain(file, file_next), durable)
+        Self::assemble_io(mem, IoState::plain(file, file_next, file_bytes), durable)
     }
 
     fn assemble_io(mem: LogMem, io: IoState, durable: Lsn) -> LogManager {
@@ -286,6 +293,7 @@ impl LogManager {
             io: Mutex::named(io, "wal.io"),
             durable: AtomicU64::new(durable.0),
             group_commit: AtomicBool::new(true),
+            poisoned: AtomicBool::new(false),
             metrics: WalMetrics::default(),
         };
         {
@@ -327,6 +335,7 @@ impl LogManager {
             },
             None,
             Lsn::ZERO,
+            0,
         )
     }
 
@@ -365,6 +374,7 @@ impl LogManager {
             },
             Some(file),
             Lsn(n),
+            scan.good_end,
         ))
     }
 
@@ -484,6 +494,32 @@ impl LogManager {
         self.group_commit.load(Ordering::Acquire)
     }
 
+    /// Mark the log failed: every subsequent durability call
+    /// ([`Self::flush_to`], [`Self::flush_all`], [`Self::append_force`])
+    /// returns an error without touching the file, and the durable
+    /// watermark never moves again. The manager poisons itself when a
+    /// flush I/O failure leaves the active file in a state no retry can
+    /// safely build on (a partial write it could not roll back, or a
+    /// failed fsync — which the kernel may have answered by dropping dirty
+    /// pages, so re-fsyncing can claim durability that does not exist).
+    /// Public so fault-injection tests can force the failure path.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// True once [`Self::poison`] has run (directly or via an
+    /// unrecoverable flush failure).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    fn poisoned_err() -> StorageError {
+        StorageError::Io(std::io::Error::other(
+            "WAL poisoned: an earlier flush failure left the log file in an \
+             unknown state; no further flushes are possible",
+        ))
+    }
+
     /// Append a record; returns its LSN. Not yet durable. The critical
     /// section is memory-only: appends never wait behind an fsync.
     pub fn append(&self, rec: &LogRecord) -> Lsn {
@@ -519,7 +555,12 @@ impl LogManager {
     /// released (waking any parked committers, who will re-elect and
     /// retry — each either succeeds or surfaces its own error), and the
     /// error is returned so the caller can decide whether the operation
-    /// that needed durability may proceed.
+    /// that needed durability may proceed. Before the baton is released a
+    /// failed write rolls the active file back to its last known-good
+    /// offset, so the retry re-appends the same frames from a clean record
+    /// boundary rather than duplicating them after partial bytes; when
+    /// that rollback is impossible (or the fsync itself failed) the log is
+    /// [poisoned](Self::poison) and every later flush fails fast.
     pub fn flush_to(&self, lsn: Lsn) -> StorageResult<()> {
         let cap = {
             let g = self.mem.lock();
@@ -528,6 +569,9 @@ impl LogManager {
         let target = lsn.min(cap);
         if target == Lsn::ZERO || self.durable.load(Ordering::Acquire) >= target.0 {
             return Ok(());
+        }
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(Self::poisoned_err());
         }
         self.metrics.flush_calls.inc();
         if !self.group_commit.load(Ordering::Acquire) {
@@ -628,13 +672,40 @@ impl LogManager {
     /// the flusher baton (or, on the legacy path, the `mem` lock, which is
     /// equally exclusive with other writers).
     fn write_to_active(&self, io: &mut IoState, buf: &[u8], batch: Lsn) -> StorageResult<()> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(Self::poisoned_err());
+        }
         let file_next = io.file_next;
+        // The last offset known to be fully written AND fsynced: a failed
+        // write must roll the file back here, or a retry from the unchanged
+        // `file_next` would append duplicate frames after the partial bytes
+        // — and LSNs are positional, so a reopen would misnumber everything
+        // past them.
+        let good_len = io.active_bytes;
         let file = io
             .file
             .as_mut()
             .ok_or_else(|| StorageError::Corrupt("write_to_active on memory-only log".into()))?;
-        file.write_all(buf)?;
-        file.sync_data()?;
+        if let Err(e) = file.write_all(buf) {
+            // An unknown prefix of `buf` is in the file and the cursor sits
+            // somewhere inside it. Restore the known-good length and
+            // position so the documented retry path (re-elected flusher,
+            // same `file_next`) starts from a clean record boundary. If the
+            // restore itself fails the file state is unknowable: poison.
+            if file.set_len(good_len).is_err()
+                || file.seek(SeekFrom::Start(good_len)).is_err()
+            {
+                self.poison();
+            }
+            return Err(e.into());
+        }
+        if let Err(e) = file.sync_data() {
+            // A failed fsync may have dropped dirty pages while marking
+            // them clean, so a retried fsync can report success without the
+            // bytes being durable. No retry is safe after this: poison.
+            self.poison();
+            return Err(e.into());
+        }
         let covered = batch.0 + 1 - file_next.0;
         io.file_next = Lsn(batch.0 + 1);
         io.active_bytes += buf.len() as u64;
@@ -696,6 +767,9 @@ impl LogManager {
         let target = target.min(Lsn(m.next_lsn.0 - 1));
         if self.durable.load(Ordering::Acquire) >= target.0 {
             return Ok(());
+        }
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(Self::poisoned_err());
         }
         let mut io = self.io.lock();
         if io.file.is_some() && target >= io.file_next {
@@ -796,6 +870,7 @@ impl LogManager {
             },
             None,
             durable,
+            0,
         )
     }
 
@@ -961,6 +1036,12 @@ impl LogManager {
             io.active_bytes = out.len() as u64;
             Ok(())
         })();
+        if result.is_err() {
+            // The rewrite can stop anywhere between the truncation and the
+            // final fsync; nothing about the file's content is known, so no
+            // later flush may append to it.
+            self.poison();
+        }
         self.release_flusher();
         result
     }
@@ -1146,6 +1227,25 @@ mod tests {
         log.flush_to(l2).unwrap();
         assert_eq!(log.durable_lsn(), l2);
         assert_eq!(log.simulate_crash(), 1);
+    }
+
+    #[test]
+    fn poisoned_log_fails_new_flushes_but_keeps_durable_prefix() {
+        let log = LogManager::new();
+        let l1 = log.append(&begin(1));
+        log.flush_to(l1).unwrap();
+        log.poison();
+        assert!(log.is_poisoned());
+        let l2 = log.append(&begin(2));
+        let err = log.flush_to(l2).unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "unexpected: {err}");
+        assert_eq!(log.durable_lsn(), l1, "watermark must not move");
+        // Already-durable targets still answer Ok; appends stay available.
+        log.flush_to(l1).unwrap();
+        assert!(log.append_force(&begin(3)).is_err());
+        // The legacy single-lock path refuses too.
+        log.set_group_commit(false);
+        assert!(log.flush_to(l2).is_err());
     }
 
     #[test]

@@ -156,6 +156,34 @@ fn replica_that_missed_recycled_segments_reports_it() {
 }
 
 #[test]
+fn fresh_replica_rejects_recycled_history_without_a_floor() {
+    let (scratch, db, replica) = primary_and_replica("floorless");
+    let session = Session::new(Arc::clone(&db));
+    for k in 0..300u64 {
+        session.insert(k, &[0x44; 48]).unwrap();
+    }
+    // Recycle sealed segments below the checkpoint low-water mark, so the
+    // surviving WAL directory starts mid-history.
+    db.truncate_log().unwrap();
+    assert!(
+        db.log().first_lsn().0 > 1,
+        "truncation must have dropped a segment for this test to bite"
+    );
+    // A blank replica (applied == ZERO, no declared floor) must refuse to
+    // apply from mid-history instead of silently diverging.
+    let err = replica.ingest_dir(&scratch.path().join("wal")).unwrap_err();
+    assert!(
+        err.to_string().contains("set_applied_floor"),
+        "unexpected error: {err}"
+    );
+    // Declaring the snapshot floor (what `obr-cli replica` does after
+    // copying the page file) unblocks ingestion.
+    let first = obr_wal::segment::list_segments(&scratch.path().join("wal")).unwrap()[0].0;
+    replica.set_applied_floor(obr_storage::Lsn(first.0.saturating_sub(1)));
+    replica.ingest_dir(&scratch.path().join("wal")).unwrap();
+}
+
+#[test]
 fn sealed_segment_ingest_rejects_torn_files() {
     let (scratch, db, replica) = primary_and_replica("torn");
     let session = Session::new(Arc::clone(&db));
