@@ -261,6 +261,7 @@ impl UpperBuilder {
 /// Build a complete tree (leaves + upper levels) from sorted unique
 /// records. Pages come from `fsm` in ascending order, so a fresh region
 /// yields physically contiguous leaves.
+// protocol: no-wal bulk-load writes fresh pages and is made durable by the explicit flush_all barrier, not by logging
 pub fn bulk_build(
     pool: &Arc<BufferPool>,
     fsm: &Arc<FreeSpaceMap>,

@@ -125,6 +125,7 @@ impl<'a> LeafView<'a> {
     }
 
     /// Format `page` as an empty leaf and wrap it.
+    // protocol: page-mutation
     pub fn init(page: &'a mut Page) -> LeafView<'a> {
         page.format(PageType::Leaf, 0);
         LeafView { page }
@@ -219,6 +220,7 @@ impl<'a> LeafView<'a> {
 
     /// Insert a record, keeping key order. Fails on duplicates and on
     /// overflow (callers split on [`StorageError::PageFull`]).
+    // protocol: page-mutation
     pub fn insert(&mut self, key: u64, value: &[u8]) -> StorageResult<()> {
         if value.len() > MAX_VALUE {
             return Err(StorageError::Corrupt(format!(
@@ -265,6 +267,7 @@ impl<'a> LeafView<'a> {
     }
 
     /// Insert, replacing any existing value. Returns the old value.
+    // protocol: page-mutation
     pub fn upsert(&mut self, key: u64, value: &[u8]) -> StorageResult<Option<Vec<u8>>> {
         let old = self.remove(key);
         self.insert(key, value)?;
@@ -272,6 +275,7 @@ impl<'a> LeafView<'a> {
     }
 
     /// Remove a record, returning its value.
+    // protocol: page-mutation
     pub fn remove(&mut self, key: u64) -> Option<Vec<u8>> {
         let mut found: Option<(usize, usize, Vec<u8>)> = None;
         for (off, k, v) in self.walk() {
@@ -293,6 +297,7 @@ impl<'a> LeafView<'a> {
 
     /// Remove and return every record, leaving the leaf empty (used by
     /// compaction MOVEs).
+    // protocol: page-mutation
     pub fn take_all(&mut self) -> Vec<(u64, Vec<u8>)> {
         let recs = self.records();
         self.page.set_free_ptr(HEADER_SIZE as u16);
@@ -302,6 +307,7 @@ impl<'a> LeafView<'a> {
 
     /// Append records in bulk. They must all be greater than the current
     /// last key and sorted; fails with `PageFull` when they do not fit.
+    // protocol: page-mutation
     pub fn extend(&mut self, records: &[(u64, Vec<u8>)]) -> StorageResult<()> {
         let need: usize = records.iter().map(|(_, v)| REC_OVERHEAD + v.len()).sum();
         if need > self.free_bytes() {

@@ -135,6 +135,7 @@ impl<'a> NodeView<'a> {
     }
 
     /// Format `page` as an empty internal page at `level` and wrap it.
+    // protocol: page-mutation
     pub fn init(page: &'a mut Page, level: u8) -> NodeView<'a> {
         page.format(PageType::Internal, level);
         NodeView { page }
@@ -242,6 +243,7 @@ impl<'a> NodeView<'a> {
 
     /// Insert an entry keeping key order. Fails when full or on duplicate
     /// low keys.
+    // protocol: page-mutation
     pub fn insert_entry(&mut self, key: u64, child: PageId) -> StorageResult<()> {
         let n = self.count();
         if n >= NODE_CAPACITY {
@@ -281,6 +283,7 @@ impl<'a> NodeView<'a> {
     }
 
     /// Remove the entry with exactly this low key; returns its child.
+    // protocol: page-mutation
     pub fn remove_entry(&mut self, key: u64) -> Option<PageId> {
         let (i, child) = self.find_exact(key)?;
         let n = self.count();
@@ -295,6 +298,7 @@ impl<'a> NodeView<'a> {
     }
 
     /// Replace the child of the entry with exactly this low key.
+    // protocol: page-mutation
     pub fn set_child(&mut self, key: u64, child: PageId) -> StorageResult<()> {
         match self.find_exact(key) {
             Some((i, _)) => {
@@ -309,6 +313,7 @@ impl<'a> NodeView<'a> {
 
     /// Replace the child pointer `old` wherever it appears (a swap updates
     /// parents by child identity, not by key). Returns the entry's low key.
+    // protocol: page-mutation
     pub fn repoint_child(&mut self, old: PageId, new: PageId) -> Option<u64> {
         for i in 0..self.count() {
             let (k, c) = self.entry_at(i);

@@ -95,6 +95,7 @@ fn image_of(page: &Page) -> Box<[u8; PAGE_SIZE]> {
 impl BTree {
     /// Create a brand-new tree: a meta page and one empty root leaf,
     /// durable on return.
+    // protocol: no-wal bootstrap: the tree is created before any log exists and made durable by flushing
     pub fn create(
         pool: Arc<BufferPool>,
         fsm: Arc<FreeSpaceMap>,

@@ -33,16 +33,25 @@
 //!   lock-order edges observed by the `obr-race` explorer against the
 //!   committed manifest `check/lockorder.toml` and proves the declared
 //!   graph acyclic.
+//! - [`protocol`] — interprocedural protocol checker. Builds per-function
+//!   fact summaries over a hand-rolled lexer ([`lexer`], [`facts`]) and a
+//!   whole-workspace call graph ([`callgraph`]), then proves three rules
+//!   on all static paths: WAL-before-data (R1), latch discipline against
+//!   the vetted manifest (R2), and atomic publication pairing (R3).
 //!
 //! All checkers report through [`Report`]; a clean report has no findings
 //! of any severity. The `obr-cli check` subcommand and the repository's CI
 //! run them; `debug_assertions` builds additionally run targeted local
 //! checks inside SMO and reorganization-unit paths.
 
+pub mod callgraph;
 pub mod crashcheck;
+pub mod facts;
 pub mod fsck;
+pub mod lexer;
 pub mod lockcheck;
 pub mod lockorder;
+pub mod protocol;
 pub mod report;
 pub mod srclint;
 pub mod wal_lint;
@@ -56,6 +65,7 @@ pub use lockcheck::{check_acquisition_order, check_compat_matrix, check_lock_pro
 pub use lockorder::{
     check_lock_order, check_lock_order_file, load_manifest, parse_manifest, LockOrderManifest,
 };
+pub use protocol::{check_protocol, check_sources, scan_files};
 pub use report::{Finding, Report, Severity};
 pub use srclint::{check_whitelist, lint_sources, FACADE_EXEMPT, RELAXED_OK};
 pub use wal_lint::{

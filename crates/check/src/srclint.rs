@@ -1,4 +1,4 @@
-//! Concurrency source lint: textual rules that keep the engine's hot
+//! Concurrency source lint: lexical rules that keep the engine's hot
 //! paths analyzable by the interleaving explorer.
 //!
 //! Four rules, all reported through [`crate::Report`] with checker name
@@ -23,14 +23,19 @@
 //!    lines (defense in depth next to the workspace-level
 //!    `clippy::undocumented_unsafe_blocks = "deny"`).
 //!
-//! The rules are line-based on purpose: they gate obviously-auditable
-//! surface patterns, not semantics, and must stay dependency-free. Every
-//! needle the linter searches for is assembled at runtime so this file —
-//! which the linter also scans — cannot trip its own rules.
+//! Rules match against the *code-only* line view produced by
+//! [`crate::lexer::code_lines`]: comments are dropped and string-literal
+//! contents are blanked before any needle is searched, so a pattern
+//! quoted in a message, a doc comment, or a test fixture can never trip
+//! a rule. That is also why the needles below can be plain constants —
+//! this file scans itself without special-casing. Justification markers
+//! (`relaxed:`, `SAFETY:`) live in comments, so those alone are searched
+//! on the raw lines.
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
+use crate::lexer::code_lines;
 use crate::report::Report;
 
 /// Files allowed to use `Ordering::Relaxed` without per-site
@@ -115,6 +120,22 @@ pub const FACADE_EXEMPT: &[&str] = &[
     "examples/",
 ];
 
+// Needles are matched against the code-only view, whose tokens are
+// joined by single spaces — multi-token needles are therefore written
+// in spaced form ("Ordering :: Relaxed", not "Ordering::Relaxed").
+const RELAXED: &str = "Ordering :: Relaxed";
+const PARKING: &str = "parking_lot";
+const STD_SYNC: &str = "std :: sync ::";
+const STD_ATOMIC: &str = "std :: sync :: atomic";
+const UNSAFE_KW: &str = "unsafe";
+const LOCK_CALL: &str = ". lock (";
+const FACADE_TYPES: &[&str] = &["Mutex", "RwLock", "Condvar", "Barrier"];
+// Comment markers, searched on raw lines (comments are absent from the
+// code view). Matching a marker only ever *clears* a finding, so the
+// string-blindness of a raw-line search is the lenient direction.
+const RELAXED_MARK: &str = "relaxed:";
+const SAFETY_MARK: &str = "SAFETY:";
+
 /// Lint every `.rs` file under `root` (the workspace checkout), skipping
 /// `target/` and VCS directories. Returns all findings plus summary
 /// notes.
@@ -123,7 +144,6 @@ pub fn lint_sources(root: &Path) -> Report {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files);
     files.sort();
-    let needles = Needles::new();
     let mut relaxed_sites = 0usize;
     for rel in &files {
         let abs = root.join(rel);
@@ -140,7 +160,7 @@ pub fn lint_sources(root: &Path) -> Report {
                 continue;
             }
         };
-        relaxed_sites += lint_file(&mut report, &needles, rel, &text);
+        relaxed_sites += lint_file(&mut report, rel, &text);
     }
     report.note(format!(
         "srclint: scanned {} files; {} Relaxed sites audited; {} whitelisted files",
@@ -151,44 +171,11 @@ pub fn lint_sources(root: &Path) -> Report {
     report
 }
 
-/// Search-needle strings assembled at runtime so the linter's own
-/// source never contains them literally.
-struct Needles {
-    relaxed: String,
-    relaxed_ok_marker: String,
-    safety_marker: String,
-    unsafe_kw: String,
-    lock_call: String,
-    parking: String,
-    std_sync: String,
-    std_atomic: String,
-    facade_types: Vec<String>,
-}
-
-impl Needles {
-    fn new() -> Needles {
-        let ordering = ["Order", "ing::"].concat();
-        Needles {
-            relaxed: [ordering.as_str(), "Relaxed"].concat(),
-            relaxed_ok_marker: ["rel", "axed:"].concat(),
-            safety_marker: ["SAF", "ETY:"].concat(),
-            unsafe_kw: ["un", "safe"].concat(),
-            lock_call: [".lo", "ck("].concat(),
-            parking: ["parking", "_lot"].concat(),
-            std_sync: ["std::", "sync::"].concat(),
-            std_atomic: ["std::", "sync::", "atomic"].concat(),
-            facade_types: ["Mutex", "RwLock", "Condvar", "Barrier"]
-                .iter()
-                .map(|t| t.to_string())
-                .collect(),
-        }
-    }
-}
-
 /// Returns the number of `Ordering::Relaxed` sites seen in this file.
-fn lint_file(report: &mut Report, n: &Needles, rel: &Path, text: &str) -> usize {
+fn lint_file(report: &mut Report, rel: &Path, text: &str) -> usize {
     let rel_str = rel.to_string_lossy().replace('\\', "/");
-    let lines: Vec<&str> = text.lines().collect();
+    let raw: Vec<&str> = text.lines().collect();
+    let code = code_lines(text);
     let relaxed_whitelisted = RELAXED_OK.iter().any(|(p, _)| *p == rel_str);
     // Integration tests, benches, and examples may use real (un-modeled)
     // primitives: they exercise true concurrency, not modeled schedules.
@@ -196,44 +183,40 @@ fn lint_file(report: &mut Report, n: &Needles, rel: &Path, text: &str) -> usize 
         .iter()
         .any(|seg| rel_str.contains(seg));
     let facade_exempt = test_code || FACADE_EXEMPT.iter().any(|p| rel_str.starts_with(p));
+    let marker_near = |idx: usize, span: usize, marker: &str| -> bool {
+        let lo = idx.saturating_sub(span);
+        raw.get(lo..=idx)
+            .map(|window| window.iter().any(|l| l.contains(marker)))
+            .unwrap_or(false)
+    };
     let mut relaxed_sites = 0usize;
     let mut unsafe_depth: i32 = 0;
-    for (idx, line) in lines.iter().enumerate() {
+    for (idx, line) in code.iter().enumerate() {
         let lineno = idx + 1;
-        let code = code_part(line);
 
         // Rule 1: Relaxed needs a nearby justification or a whitelist.
-        if code.contains(&n.relaxed) {
+        if line.contains(RELAXED) {
             relaxed_sites += 1;
-            if !relaxed_whitelisted {
-                let lo = idx.saturating_sub(5);
-                let justified = lines[lo..=idx]
-                    .iter()
-                    .any(|l| l.contains(&n.relaxed_ok_marker));
-                if !justified {
-                    report.error(
-                        "srclint",
-                        "relaxed-unjustified",
-                        None,
-                        None,
-                        format!(
-                            "{rel_str}:{lineno}: Relaxed ordering without a nearby \
-                             justification comment and file not whitelisted"
-                        ),
-                    );
-                }
+            if !relaxed_whitelisted && !marker_near(idx, 5, RELAXED_MARK) {
+                report.error(
+                    "srclint",
+                    "relaxed-unjustified",
+                    None,
+                    None,
+                    format!(
+                        "{rel_str}:{lineno}: Relaxed ordering without a nearby \
+                         justification comment and file not whitelisted"
+                    ),
+                );
             }
         }
 
         // Rule 2: no raw sync imports outside the facade.
         if !facade_exempt {
-            let uses_parking = code.contains(&n.parking);
-            let uses_std_atomic = code.contains(&n.std_atomic);
-            let uses_std_lock = code.contains(&n.std_sync)
-                && n.facade_types.iter().any(|t| {
-                    code.contains(&[n.std_sync.as_str(), t.as_str()].concat())
-                        || (code.contains(&n.std_sync) && contains_word(&code, t))
-                });
+            let uses_parking = contains_word(line, PARKING);
+            let uses_std_atomic = line.contains(STD_ATOMIC);
+            let uses_std_lock = line.contains(STD_SYNC)
+                && FACADE_TYPES.iter().any(|t| contains_word(line, t));
             if uses_parking || uses_std_atomic || uses_std_lock {
                 report.error(
                     "srclint",
@@ -251,12 +234,10 @@ fn lint_file(report: &mut Report, n: &Needles, rel: &Path, text: &str) -> usize 
         // Rules 3 + 4: unsafe tracking. Brace depth is line-based and
         // conservative — acceptable because the workspace target state
         // is zero unsafe (clippy denies undocumented blocks too).
-        let opens = code.matches('{').count() as i32;
-        let closes = code.matches('}').count() as i32;
-        if contains_word(&code, &n.unsafe_kw) {
-            let lo = idx.saturating_sub(3);
-            let documented = lines[lo..=idx].iter().any(|l| l.contains(&n.safety_marker));
-            if !documented {
+        let opens = line.matches('{').count() as i32;
+        let closes = line.matches('}').count() as i32;
+        if contains_word(line, UNSAFE_KW) {
+            if !marker_near(idx, 3, SAFETY_MARK) {
                 report.error(
                     "srclint",
                     "undocumented-unsafe",
@@ -265,7 +246,7 @@ fn lint_file(report: &mut Report, n: &Needles, rel: &Path, text: &str) -> usize 
                     format!("{rel_str}:{lineno}: unsafe without a SAFETY: comment"),
                 );
             }
-            if code.contains(&n.lock_call) {
+            if line.contains(LOCK_CALL) {
                 report.error(
                     "srclint",
                     "lock-in-unsafe",
@@ -277,7 +258,7 @@ fn lint_file(report: &mut Report, n: &Needles, rel: &Path, text: &str) -> usize 
             // Track the block only if it stays open past this line.
             unsafe_depth += (opens - closes).max(0);
         } else if unsafe_depth > 0 {
-            if code.contains(&n.lock_call) {
+            if line.contains(LOCK_CALL) {
                 report.error(
                     "srclint",
                     "lock-in-unsafe",
@@ -290,37 +271,6 @@ fn lint_file(report: &mut Report, n: &Needles, rel: &Path, text: &str) -> usize 
         }
     }
     relaxed_sites
-}
-
-/// Strip a trailing line comment and blank out string-literal contents,
-/// so rules match only real code tokens — never words inside messages
-/// or fixtures. Justification markers live in comments and are searched
-/// on the *raw* lines, not this.
-fn code_part(line: &str) -> String {
-    let mut out = String::with_capacity(line.len());
-    let mut in_str = false;
-    let bytes = line.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        let c = bytes[i] as char;
-        match bytes[i] {
-            b'"' => {
-                in_str = !in_str;
-                out.push('"');
-            }
-            b'\\' if in_str && i + 1 < bytes.len() => {
-                out.push(' ');
-                out.push(' ');
-                i += 1;
-            }
-            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                return out;
-            }
-            _ => out.push(if in_str { ' ' } else { c }),
-        }
-        i += 1;
-    }
-    out
 }
 
 fn contains_word(haystack: &str, word: &str) -> bool {
@@ -420,23 +370,17 @@ mod tests {
         dir
     }
 
-    // Test fixtures assemble the offending patterns at runtime too, so
-    // this test file itself stays invisible to the linter.
-    fn relaxed_expr() -> String {
-        ["Order", "ing::", "Relaxed"].concat()
-    }
-
+    // Fixture contents are plain literals: the linter reads them back
+    // through the lexer's code view, and string literals in *this* file
+    // are blanked before matching, so nothing here trips the rules.
     #[test]
     fn unjustified_relaxed_is_flagged_and_comment_clears_it() {
-        let bad = format!("fn f() {{ x.load({}); }}\n", relaxed_expr());
-        let good = format!(
-            "// {}: counter is observability-only\nfn f() {{ x.load({}); }}\n",
-            ["rel", "axed"].concat(),
-            relaxed_expr()
-        );
+        let bad = "fn f() { x.load(Ordering::Relaxed); }\n";
+        let good =
+            "// relaxed: counter is observability-only\nfn f() { x.load(Ordering::Relaxed); }\n";
         let root = scratch_tree(&[
-            ("crates/core/src/a.rs", bad.as_str()),
-            ("crates/core/src/b.rs", good.as_str()),
+            ("crates/core/src/a.rs", bad),
+            ("crates/core/src/b.rs", good),
         ]);
         let r = lint_sources(&root);
         let flagged: Vec<_> = r
@@ -450,12 +394,29 @@ mod tests {
     }
 
     #[test]
+    fn relaxed_inside_string_or_comment_is_invisible() {
+        let fixture = concat!(
+            "// a doc mentioning Ordering::Relaxed is not a use site\n",
+            "fn f() -> &'static str {\n",
+            "    \"self.real.load(Ordering::Relaxed)\"\n",
+            "}\n",
+        );
+        let root = scratch_tree(&[("crates/core/src/a.rs", fixture)]);
+        let r = lint_sources(&root);
+        assert!(
+            !r.findings.iter().any(|f| f.code == "relaxed-unjustified"),
+            "string/comment text must not trip the lint: {r}"
+        );
+        std::fs::remove_dir_all(root).unwrap();
+    }
+
+    #[test]
     fn facade_bypass_flagged_outside_exempt_paths() {
-        let import = ["use ", "parking", "_lot", "::Mutex;"].concat();
+        let import = "use parking_lot::Mutex;\n";
         let root = scratch_tree(&[
-            ("crates/core/src/a.rs", import.as_str()),
-            ("shims/x/src/lib.rs", import.as_str()),
-            ("tests/t.rs", import.as_str()),
+            ("crates/core/src/a.rs", import),
+            ("shims/x/src/lib.rs", import),
+            ("tests/t.rs", import),
         ]);
         let r = lint_sources(&root);
         let flagged: Vec<_> = r
@@ -469,17 +430,24 @@ mod tests {
     }
 
     #[test]
-    fn undocumented_unsafe_and_lock_inside_it() {
-        let kw = ["un", "safe"].concat();
-        let lock = [".lo", "ck()"].concat();
-        let bad = format!("fn f() {{ {kw} {{ g{lock}; }} }}\n");
-        let good = format!(
-            "// {}: region is a no-op placeholder\nfn f() {{ {kw} {{ }} }}\n",
-            ["SAF", "ETY"].concat()
+    fn std_sync_import_in_string_is_invisible() {
+        let fixture = "fn f() -> &'static str { \"use std::sync::Mutex;\" }\n";
+        let root = scratch_tree(&[("crates/core/src/a.rs", fixture)]);
+        let r = lint_sources(&root);
+        assert!(
+            !r.findings.iter().any(|f| f.code == "facade-bypass"),
+            "quoted import must not trip the facade rule: {r}"
         );
+        std::fs::remove_dir_all(root).unwrap();
+    }
+
+    #[test]
+    fn undocumented_unsafe_and_lock_inside_it() {
+        let bad = "fn f() { unsafe { g.lock(); } }\n";
+        let good = "// SAFETY: region is a no-op placeholder\nfn f() { unsafe { } }\n";
         let root = scratch_tree(&[
-            ("crates/core/src/a.rs", bad.as_str()),
-            ("crates/core/src/b.rs", good.as_str()),
+            ("crates/core/src/a.rs", bad),
+            ("crates/core/src/b.rs", good),
         ]);
         let r = lint_sources(&root);
         assert!(

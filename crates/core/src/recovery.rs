@@ -348,6 +348,7 @@ fn collect_new_tree_pages(
 /// Shared with [`crate::replica::Replica`]: log shipping is exactly
 /// continuous redo, so the replica applies records with the same
 /// page-LSN-gated function restart recovery uses.
+// protocol: no-wal redo replays mutations from already-durable log records; re-appending them would double-log
 pub(crate) fn redo_one(db: &Arc<Database>, lsn: Lsn, rec: &LogRecord) -> CoreResult<bool> {
     let pool = db.pool();
     let behind = |p: PageId| -> CoreResult<bool> {

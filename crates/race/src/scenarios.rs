@@ -1,4 +1,4 @@
-//! The six scripted concurrency scenarios the explorer replays.
+//! The seven scripted concurrency scenarios the explorer replays.
 //!
 //! Each scenario is a plain `fn()` executed as thread 0 of a controlled
 //! run (see `obr_sync::model::run_controlled`); it spawns its worker
@@ -32,7 +32,7 @@ pub struct Scenario {
     pub run: fn(),
 }
 
-/// All six scenarios, in canonical order.
+/// All seven scenarios, in canonical order.
 pub fn all() -> Vec<Scenario> {
     vec![
         Scenario {
@@ -54,6 +54,11 @@ pub fn all() -> Vec<Scenario> {
             name: "pool_eviction_vs_flush",
             about: "shard eviction under memory pressure racing flush_pages",
             run: pool_eviction_vs_flush,
+        },
+        Scenario {
+            name: "pool_discard_vs_stale_flush",
+            about: "flush racing discard-and-reallocate of the same page id",
+            run: pool_discard_vs_stale_flush,
         },
         Scenario {
             name: "sidefile_append_vs_drain",
@@ -339,7 +344,55 @@ fn pool_eviction_vs_flush() {
     }
 }
 
-/// Scenario 5: one thread appends side-file entries (reorganizer pass 2)
+/// Scenario 5: a flusher races a discard-and-reallocate of the same page
+/// id (the reorganizer's deallocate-then-reuse shape, ROADMAP item 5).
+/// The flusher clones the frame's `Arc` out of the shard table; if the
+/// discard and the reallocation complete while the flusher is suspended
+/// before its disk write, the stale write lands *after* the new image
+/// and clobbers it. The fix is the frame dead bit + retire barrier in
+/// `BufferPool::discard`/`write_frame`; the model-only sabotage switch
+/// `OBR_BUG_STALE_FRAME_FLUSH=1` disables the dead check so the teeth
+/// test can prove this scenario still catches the original bug.
+fn pool_discard_vs_stale_flush() {
+    let disk = Arc::new(InMemoryDisk::new(8));
+    let pool = Arc::new(BufferPool::with_shards(disk.clone(), 4, 2));
+    // The doomed image of page 1.
+    {
+        let g = pool.fetch_new(PageId(1)).expect("fetch_new");
+        g.write().body_mut()[0] = 0x0D;
+    }
+    let flusher = {
+        let pool = Arc::clone(&pool);
+        thread::spawn(move || {
+            pool.flush_page(PageId(1)).expect("stale flush");
+        })
+    };
+    let realloc = {
+        let disk = Arc::clone(&disk);
+        let pool = Arc::clone(&pool);
+        thread::spawn(move || {
+            // Deallocate the page. Once discard returns, the pool has no
+            // claim on the id: the next owner's fresh image goes straight
+            // to disk (the minimal model of reallocate-and-make-durable —
+            // few scheduling decisions, so random sweeps actually reach
+            // the stale-write window when the fix is sabotaged away).
+            pool.discard(PageId(1));
+            let mut img = obr_storage::Page::new();
+            img.body_mut()[0] = 0x11;
+            disk.write_page(PageId(1), &img).expect("new owner's image");
+        })
+    };
+    flusher.join().unwrap();
+    realloc.join().unwrap();
+    let img = disk.read_page(PageId(1)).expect("read back");
+    assert_eq!(
+        img.body()[0],
+        0x11,
+        "stale flush of a discarded frame clobbered the reallocated page"
+    );
+}
+
+/// Scenario 6: one thread appends side-file entries (reorganizer pass 2)
 /// while another drains them front-to-back (pass-3 catch-up). Asserts
 /// the drain sees every appended entry exactly once, in order.
 fn sidefile_append_vs_drain() {
@@ -393,7 +446,7 @@ fn sidefile_append_vs_drain() {
     assert_eq!(log.len(), 8, "every append and drain is logged");
 }
 
-/// Scenario 6: the reorganizer daemon's deadlock-retry protocol against a
+/// Scenario 7: the reorganizer daemon's deadlock-retry protocol against a
 /// transaction acquiring the same two pages in the opposite order (the
 /// undo path's reverse traversal). The reorganizer is the registered —
 /// and therefore preferred — deadlock victim: it must be the one that

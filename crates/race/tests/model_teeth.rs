@@ -17,14 +17,19 @@ use obr_race::scenarios;
 
 const SWEEP: u64 = 400;
 
+/// The teeth tests mutate process-global environment flags; they must
+/// never run concurrently with each other (set_var racing var_os is a
+/// data race on environ).
+static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn early_watermark_sabotage_is_caught_and_clean_build_passes() {
+    let _env = ENV_LOCK.lock().unwrap();
     let scenario = scenarios::by_name("wal_watermark_file").unwrap();
 
     // Phase 1: sabotage on — some schedule must observe the torn
-    // watermark. One env-mutating test per binary; phases must stay
-    // sequential in this order so the clean phase also proves the flag
-    // reset took effect.
+    // watermark. Phases must stay sequential in this order so the clean
+    // phase also proves the flag reset took effect.
     std::env::set_var("OBR_BUG_EARLY_WATERMARK", "1");
     let sabotaged = run_random(scenario, 1, SWEEP, DEFAULT_MAX_STEPS);
     std::env::remove_var("OBR_BUG_EARLY_WATERMARK");
@@ -42,6 +47,43 @@ fn early_watermark_sabotage_is_caught_and_clean_build_passes() {
     // (The sabotage env var is off now, so the replayed schedule differs
     // in outcome — it must now PASS, proving the bug, not the harness,
     // caused the failure.)
+    assert!(
+        replay.result.is_complete(),
+        "with sabotage off the same schedule must pass, got {:?}",
+        replay.result
+    );
+
+    // Phase 2: clean build — the whole sweep must pass.
+    let clean = run_random(scenario, 1, SWEEP, DEFAULT_MAX_STEPS);
+    assert!(
+        clean.failure.is_none(),
+        "clean build failed: {:?}",
+        clean.failure
+    );
+}
+
+#[test]
+fn stale_frame_flush_sabotage_is_caught_and_clean_build_passes() {
+    let _env = ENV_LOCK.lock().unwrap();
+    let scenario = scenarios::by_name("pool_discard_vs_stale_flush").unwrap();
+
+    // Phase 1: sabotage on — `write_frame` skips the dead-frame check,
+    // so some schedule must let the suspended flusher clobber the
+    // reallocated page's image with the discarded one.
+    std::env::set_var("OBR_BUG_STALE_FRAME_FLUSH", "1");
+    let sabotaged = run_random(scenario, 1, SWEEP, DEFAULT_MAX_STEPS);
+    std::env::remove_var("OBR_BUG_STALE_FRAME_FLUSH");
+    let failure = sabotaged
+        .failure
+        .expect("sabotaged build ran a full sweep without catching the stale flush");
+    let msg = format!("{:?}", failure.result);
+    assert!(
+        msg.contains("stale flush"),
+        "failure must be the clobbered-page assertion, got: {msg}"
+    );
+
+    // With the dead-frame check back on, the same schedule must pass.
+    let replay = obr_race::explore::replay(scenario, &failure.repro, DEFAULT_MAX_STEPS);
     assert!(
         replay.result.is_complete(),
         "with sabotage off the same schedule must pass, got {:?}",

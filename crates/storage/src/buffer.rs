@@ -63,7 +63,50 @@ struct Frame {
     data: RwLock<Page>,
     pin: AtomicU32,
     dirty: AtomicBool,
+    /// Set (under no lock, after the frame leaves its shard's table) when
+    /// the frame is retired by discard/eviction/crash. A flusher that
+    /// cloned the frame's `Arc` out of the table before removal re-checks
+    /// this under the data latch and skips the disk write: without it,
+    /// the stale flush could land *after* the page id was reallocated and
+    /// rewritten, clobbering the new page's image on disk (the flaky
+    /// lost-write of ROADMAP item 5, caught by the
+    /// `pool_discard_vs_stale_flush` scenario).
+    dead: AtomicBool,
     last_used: AtomicU64,
+}
+
+impl Frame {
+    /// Retire a frame that has just been removed from its shard table:
+    /// publish `dead`, then cycle the data latch. The latch cycle is the
+    /// barrier that makes retirement safe against in-flight flushers — a
+    /// flusher holds the read latch across its dead-check and disk write,
+    /// so by the time the write latch is granted here, every flusher that
+    /// saw `dead == false` has already finished writing (i.e. before the
+    /// caller returns and the page id can be reused), and every later
+    /// flusher sees `dead == true` and skips.
+    fn retire(&self) {
+        if sabotage_stale_frame_flush() {
+            return; // model-only: reintroduce the pre-fix behaviour whole
+        }
+        self.dead.store(true, Ordering::Release);
+        drop(self.data.write());
+    }
+}
+
+/// Test-only sabotage switch (model builds only): when
+/// `OBR_BUG_STALE_FRAME_FLUSH=1`, frame retirement is a no-op and
+/// `write_frame` skips the dead-frame check — the complete pre-fix
+/// behaviour — so the interleaving explorer can prove the
+/// `pool_discard_vs_stale_flush` scenario catches the stale write of a
+/// retired frame. Never set outside `obr-race`'s teeth tests.
+#[cfg(obr_model)]
+fn sabotage_stale_frame_flush() -> bool {
+    std::env::var_os("OBR_BUG_STALE_FRAME_FLUSH").is_some_and(|v| v == "1")
+}
+
+#[cfg(not(obr_model))]
+fn sabotage_stale_frame_flush() -> bool {
+    false
 }
 
 /// One shard: a slice of the frame table plus the write-order dependencies
@@ -365,6 +408,7 @@ impl BufferPool {
             data: RwLock::named(page, "pool.frame.data"),
             pin: AtomicU32::new(1),
             dirty: AtomicBool::new(!read_from_disk),
+            dead: AtomicBool::new(false),
             // relaxed: clock tick is a recency hint (see touch()).
             last_used: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
         });
@@ -404,17 +448,29 @@ impl BufferPool {
         };
         self.flush_page(victim)?;
         let shard = self.shard(victim);
-        let mut frames = shard.frames.lock();
-        if let Some(f) = frames.get(&victim) {
-            // Only drop it if still unpinned and clean.
-            if f.pin.load(Ordering::Acquire) == 0 && !f.dirty.load(Ordering::Acquire) {
-                frames.remove(&victim);
-                self.resident.fetch_sub(1, Ordering::AcqRel);
-                // relaxed: eviction counter is observability-only.
-                shard.evictions.fetch_add(1, Ordering::Relaxed);
-                self.metrics.evictions.inc();
-                self.metrics.resident.set(self.resident() as u64);
+        let removed = {
+            let mut frames = shard.frames.lock();
+            match frames.get(&victim) {
+                // Only drop it if still unpinned and clean.
+                Some(f)
+                    if f.pin.load(Ordering::Acquire) == 0
+                        && !f.dirty.load(Ordering::Acquire) =>
+                {
+                    frames.remove(&victim)
+                }
+                _ => None,
             }
+        };
+        if let Some(f) = removed {
+            // Retire outside the shard lock: the barrier takes the data
+            // latch, and pool.shard.frames -> pool.frame.data is not a
+            // vetted nesting (see check/lockorder.toml).
+            f.retire();
+            self.resident.fetch_sub(1, Ordering::AcqRel);
+            // relaxed: eviction counter is observability-only.
+            shard.evictions.fetch_add(1, Ordering::Relaxed);
+            self.metrics.evictions.inc();
+            self.metrics.resident.set(self.resident() as u64);
         }
         Ok(())
     }
@@ -508,6 +564,14 @@ impl BufferPool {
             return Ok(());
         }
         let page = frame.data.read();
+        // Re-check liveness under the read latch: discard/eviction set
+        // `dead` after removing the frame from the table and then cycle
+        // the write latch (Frame::retire), so either this flush finishes
+        // before the retirer returns, or `dead` is visible here and the
+        // stale image never reaches disk.
+        if frame.dead.load(Ordering::Acquire) && !sabotage_stale_frame_flush() {
+            return Ok(());
+        }
         if let Some(wal) = self.wal.read().clone() {
             wal.flush_to(page.lsn())?;
         }
@@ -621,7 +685,10 @@ impl BufferPool {
             flushed.push(id);
         }
         for shard in self.shards.iter() {
-            shard.frames.lock().clear();
+            let drained: Vec<Arc<Frame>> = shard.frames.lock().drain().map(|(_, f)| f).collect();
+            for f in drained {
+                f.retire();
+            }
             shard.deps.lock().clear();
         }
         self.resident.store(0, Ordering::Release);
@@ -634,12 +701,27 @@ impl BufferPool {
     pub fn evict_all(&self) -> StorageResult<()> {
         self.flush_all()?;
         for shard in self.shards.iter() {
-            let mut frames = shard.frames.lock();
-            let before = frames.len();
-            frames.retain(|_, f| f.pin.load(Ordering::Acquire) > 0);
-            let removed = before - frames.len();
-            if removed > 0 {
-                self.resident.fetch_sub(removed, Ordering::AcqRel);
+            let mut dropped = Vec::new();
+            {
+                let mut frames = shard.frames.lock();
+                // Keep pinned frames, and frames re-dirtied since the
+                // flush above — dropping those would silently lose the
+                // write (their writer has already released its guard, so
+                // nothing would flush them again).
+                frames.retain(|_, f| {
+                    let keep = f.pin.load(Ordering::Acquire) > 0
+                        || f.dirty.load(Ordering::Acquire);
+                    if !keep {
+                        dropped.push(Arc::clone(f));
+                    }
+                    keep
+                });
+            }
+            if !dropped.is_empty() {
+                self.resident.fetch_sub(dropped.len(), Ordering::AcqRel);
+                for f in dropped {
+                    f.retire();
+                }
             }
         }
         Ok(())
@@ -649,7 +731,17 @@ impl BufferPool {
     /// deallocation: the image is dead).
     pub fn discard(&self, id: PageId) {
         let shard = self.shard(id);
-        if shard.frames.lock().remove(&id).is_some() {
+        // Bind the removal first: an `if let` on the chained expression
+        // would keep the frames guard alive across retire()'s data-latch
+        // barrier (edition-2021 scrutinee temporaries), nesting
+        // pool.shard.frames -> pool.frame.data, which is not vetted.
+        let removed = shard.frames.lock().remove(&id);
+        if let Some(f) = removed {
+            // Retire before returning: once this call returns, the caller
+            // may deallocate and the id may be reallocated — any flusher
+            // still holding the old frame must be done (or fenced off by
+            // the dead bit) first.
+            f.retire();
             self.resident.fetch_sub(1, Ordering::AcqRel);
         }
         shard.deps.lock().remove(&id);
@@ -890,6 +982,81 @@ mod tests {
         }
         pool.flush_page(PageId(0)).unwrap();
         assert_eq!(probe.max_flushed.load(Ordering::SeqCst), 31);
+    }
+
+    #[test]
+    fn evict_all_keeps_frames_redirtied_mid_flush() {
+        // A frame re-dirtied between evict_all's flush sweep and its
+        // retain pass must survive: dropping it would lose the write (no
+        // guard is outstanding, so nothing would ever flush it again).
+        // Re-dirty deterministically through the WAL hook: page 16 shares
+        // shard 0 with page 0 (16 shards) and flushes second, and its
+        // hook invocation re-dirties the already-flushed page 0.
+        struct RedirtyOnFlush {
+            pool: std::sync::Weak<BufferPool>,
+        }
+        impl WalFlush for RedirtyOnFlush {
+            fn flush_to(&self, lsn: Lsn) -> StorageResult<()> {
+                if lsn == Lsn(0) {
+                    return Ok(()); // page 0's own flush
+                }
+                if let Some(pool) = self.pool.upgrade() {
+                    let g = pool.fetch(PageId(0)).unwrap();
+                    g.write().set_low_mark(4242);
+                }
+                Ok(())
+            }
+        }
+        let disk = Arc::new(InMemoryDisk::new(32));
+        let pool = Arc::new(BufferPool::with_shards(
+            Arc::clone(&disk) as Arc<dyn DiskManager>,
+            32,
+            16,
+        ));
+        let hook = Arc::new(RedirtyOnFlush {
+            pool: Arc::downgrade(&pool),
+        });
+        pool.set_wal(Arc::clone(&hook) as Arc<dyn WalFlush>);
+        {
+            let g = pool.fetch(PageId(0)).unwrap();
+            g.write().set_low_mark(1);
+        }
+        {
+            let g = pool.fetch(PageId(16)).unwrap();
+            g.write().set_lsn(Lsn(7)); // non-zero: fires the re-dirty hook
+        }
+        pool.evict_all().unwrap();
+        assert!(pool.is_resident(PageId(0)), "re-dirtied frame was dropped");
+        assert!(pool.is_dirty(PageId(0)));
+        assert!(!pool.is_resident(PageId(16)), "clean frame must be evicted");
+        pool.flush_all().unwrap();
+        assert_eq!(
+            disk.read_page(PageId(0)).unwrap().low_mark(),
+            4242,
+            "mid-evict write was lost"
+        );
+    }
+
+    #[test]
+    fn discard_fences_off_a_stale_flusher() {
+        // A flusher that cloned the frame's Arc before a discard must not
+        // write the dead image after the id is reallocated. Single-threaded
+        // analogue: discard retires the frame, so a write_frame racing it
+        // sees the dead bit (the full interleaving space is explored by
+        // the `pool_discard_vs_stale_flush` obr-race scenario).
+        let (disk, pool) = pool(4, 4);
+        {
+            let g = pool.fetch(PageId(1)).unwrap();
+            g.write().set_low_mark(13);
+        }
+        pool.discard(PageId(1));
+        // Reallocate the id with fresh content and make it durable.
+        {
+            let g = pool.fetch_new(PageId(1)).unwrap();
+            g.write().set_low_mark(99);
+        }
+        pool.flush_page(PageId(1)).unwrap();
+        assert_eq!(disk.read_page(PageId(1)).unwrap().low_mark(), 99);
     }
 
     #[test]

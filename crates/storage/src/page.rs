@@ -146,6 +146,7 @@ impl Page {
 
     /// Initialize a fresh page of the given type and level, resetting the
     /// body, slot count, side pointers, and low mark.
+    // protocol: page-mutation
     pub fn format(&mut self, ty: PageType, level: u8) {
         self.data.fill(0);
         self.set_page_type(ty);

@@ -522,6 +522,7 @@ impl LogManager {
 
     /// Append a record; returns its LSN. Not yet durable. The critical
     /// section is memory-only: appends never wait behind an fsync.
+    // protocol: wal-append
     pub fn append(&self, rec: &LogRecord) -> Lsn {
         let bytes = rec.encode();
         self.metrics.appends.inc();
@@ -541,6 +542,7 @@ impl LogManager {
     }
 
     /// Append and immediately force to the durability watermark.
+    // protocol: wal-append
     pub fn append_force(&self, rec: &LogRecord) -> StorageResult<Lsn> {
         let lsn = self.append(rec);
         self.flush_to(lsn)?;

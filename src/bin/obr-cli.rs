@@ -5,6 +5,7 @@
 //! obr-cli check <dir> [--tree] [--locks] [--wal] [--all] [--live]
 //! obr-cli check --crash [--budget N] [--seed S] [--segment-bytes B] [--report PATH]
 //! obr-cli check --lint [--root DIR]
+//! obr-cli check --protocol [--root DIR] [--report PATH]
 //! obr-cli stats <dir> [--json]
 //! obr-cli stats --workload [--json] [--keep DIR]
 //! obr-cli trace [--out PATH]
@@ -39,6 +40,14 @@
 //! |                   | imports bypassing the `obr-sync` facade, lock      |
 //! |                   | calls inside `unsafe`, undocumented `unsafe`, and  |
 //! |                   | staleness of the lint whitelist itself             |
+//! | `check --protocol` | interprocedural protocol checker over the engine  |
+//! |                   | sources at `--root DIR` (default `.`): builds a    |
+//! |                   | whole-workspace call graph and proves              |
+//! |                   | WAL-before-data on every static mutation path,     |
+//! |                   | latch-acquisition orders against the vetted        |
+//! |                   | `check/lockorder.toml` manifest, and               |
+//! |                   | Release/Acquire pairing of atomic publication;     |
+//! |                   | `--report PATH` writes the full report to a file   |
 //!
 //! `stats` prints the metrics registry — every counter, gauge (with its
 //! peak) and histogram documented in DESIGN.md "Observability" — either as
@@ -74,7 +83,8 @@ use obr::txn::{Session, TxnError};
 
 /// `obr-cli check <dir> [--tree] [--locks] [--wal] [--all] [--live]`,
 /// `obr-cli check --crash [--budget N] [--seed S] [--segment-bytes B]
-/// [--report PATH]`, or `obr-cli check --lint [--root DIR]`.
+/// [--report PATH]`, `obr-cli check --lint [--root DIR]`, or
+/// `obr-cli check --protocol [--root DIR] [--report PATH]`.
 ///
 /// Selecting no family is the same as `--all`. With `--live` the database is
 /// opened and recovered first, and the tree fsck walks the live sharded
@@ -87,17 +97,22 @@ use obr::txn::{Session, TxnError};
 /// `--report PATH`. `--lint` also needs no `<dir>`: it walks the `.rs`
 /// sources under `--root DIR` (default the current directory) with the
 /// concurrency source lint of [`obr::check::lint_sources`] and validates
-/// the `Relaxed`-whitelist with [`obr::check::check_whitelist`]. Never
-/// exits through the shell path: the process status is the check result,
-/// non-zero only for error-severity findings.
+/// the `Relaxed`-whitelist with [`obr::check::check_whitelist`].
+/// `--protocol` likewise needs no `<dir>`: it runs the interprocedural
+/// protocol checker of [`obr::check::check_protocol`] over the engine
+/// sources and the lock-order manifest under `--root DIR` (default the
+/// current directory). Never exits through the shell path: the process
+/// status is the check result, non-zero only for error-severity findings.
 fn run_check(args: &[String]) -> ! {
     const USAGE: &str = "usage: obr-cli check <dir> [--tree] [--locks] [--wal] [--all] [--live]\n\
                          \x20      obr-cli check --crash [--budget N] [--seed S] \
                          [--segment-bytes B] [--report PATH]\n\
-                         \x20      obr-cli check --lint [--root DIR]";
+                         \x20      obr-cli check --lint [--root DIR]\n\
+                         \x20      obr-cli check --protocol [--root DIR] [--report PATH]";
     let mut dir: Option<std::path::PathBuf> = None;
     let (mut tree, mut locks, mut wal, mut live, mut crash) = (false, false, false, false, false);
     let mut lint = false;
+    let mut protocol = false;
     let mut root: Option<std::path::PathBuf> = None;
     let mut budget: Option<usize> = None;
     let mut seed: u64 = 1;
@@ -112,6 +127,7 @@ fn run_check(args: &[String]) -> ! {
             "--live" => live = true,
             "--crash" => crash = true,
             "--lint" => lint = true,
+            "--protocol" => protocol = true,
             "--root" => match it.next() {
                 Some(p) => root = Some(std::path::PathBuf::from(p)),
                 None => {
@@ -173,6 +189,30 @@ fn run_check(args: &[String]) -> ! {
         let mut report = obr::check::lint_sources(&root);
         report.merge(obr::check::check_whitelist(&root));
         print!("{report}");
+        exit_with(&report);
+    }
+    if protocol {
+        let root = root.unwrap_or_else(|| std::path::PathBuf::from("."));
+        if !root.is_dir() {
+            eprintln!("--root {} is not a directory", root.display());
+            std::process::exit(2);
+        }
+        println!("== interprocedural protocol check: {}", root.display());
+        let report = match obr::check::check_protocol(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cannot scan {}: {e}", root.display());
+                std::process::exit(2);
+            }
+        };
+        print!("{report}");
+        if let Some(path) = report_path {
+            if let Err(e) = std::fs::write(&path, format!("{report}")) {
+                eprintln!("cannot write report to {}: {e}", path.display());
+                std::process::exit(2);
+            }
+            println!("report written to {}", path.display());
+        }
         exit_with(&report);
     }
     if crash {
