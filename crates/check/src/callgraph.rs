@@ -133,7 +133,10 @@ impl Workspace {
                     direct_acquires: BTreeSet::new(),
                 });
                 if let Some(t) = &func.impl_type {
-                    by_type_method.entry((t.clone(), func.name.clone())).or_default().push(id);
+                    by_type_method
+                        .entry((t.clone(), func.name.clone()))
+                        .or_default()
+                        .push(id);
                     if let Some(tr) = &func.trait_name {
                         if tr != t {
                             let impls = trait_impls.entry(tr.clone()).or_default();
@@ -236,7 +239,10 @@ impl Workspace {
     /// fan-out when `type_name` is a trait.
     fn lookup_methods(&self, type_name: &str, method: &str) -> Vec<FnId> {
         let mut out = Vec::new();
-        if let Some(ids) = self.by_type_method.get(&(type_name.to_string(), method.to_string())) {
+        if let Some(ids) = self
+            .by_type_method
+            .get(&(type_name.to_string(), method.to_string()))
+        {
             out.extend_from_slice(ids);
         }
         if let Some(impls) = self.trait_impls.get(type_name) {
@@ -321,8 +327,11 @@ impl Workspace {
             Recv::None => {
                 // Same-file free fn first, then globally unique.
                 if let Some(ids) = self.free_by_name.get(&call.name) {
-                    let local: Vec<FnId> =
-                        ids.iter().copied().filter(|id| self.fns[*id].file == file).collect();
+                    let local: Vec<FnId> = ids
+                        .iter()
+                        .copied()
+                        .filter(|id| self.fns[*id].file == file)
+                        .collect();
                     if !local.is_empty() {
                         return local;
                     }
@@ -424,7 +433,11 @@ impl Workspace {
                     for id in ids {
                         let f = self.fn_info(id);
                         if let Some(r) = &f.ret {
-                            ty = if r == "Self" { f.impl_type.clone() } else { Some(r.clone()) };
+                            ty = if r == "Self" {
+                                f.impl_type.clone()
+                            } else {
+                                Some(r.clone())
+                            };
                             break;
                         }
                     }
@@ -450,13 +463,24 @@ impl Workspace {
     /// Fixpoint summaries: may_acquire, appends, mutates.
     fn summarize(&mut self) {
         let n = self.fns.len();
-        let mut may: Vec<BTreeSet<String>> =
-            (0..n).map(|i| self.fns[i].direct_acquires.clone()).collect();
+        let mut may: Vec<BTreeSet<String>> = (0..n)
+            .map(|i| self.fns[i].direct_acquires.clone())
+            .collect();
         let mut appends: Vec<bool> = (0..n)
-            .map(|i| self.fn_info(i).anns.iter().any(|a| a.kind == AnnKind::WalAppend))
+            .map(|i| {
+                self.fn_info(i)
+                    .anns
+                    .iter()
+                    .any(|a| a.kind == AnnKind::WalAppend)
+            })
             .collect();
         let mut mutates: Vec<bool> = (0..n)
-            .map(|i| self.fn_info(i).anns.iter().any(|a| a.kind == AnnKind::PageMutation))
+            .map(|i| {
+                self.fn_info(i)
+                    .anns
+                    .iter()
+                    .any(|a| a.kind == AnnKind::PageMutation)
+            })
             .collect();
 
         loop {
@@ -627,7 +651,9 @@ mod tests {
             }
             "#,
         )]);
-        let touch = (0..w.fns.len()).find(|i| w.fn_info(*i).name == "touch").unwrap();
+        let touch = (0..w.fns.len())
+            .find(|i| w.fn_info(*i).name == "touch")
+            .unwrap();
         assert!(w.appends[touch], "touch should transitively append");
     }
 
@@ -659,12 +685,19 @@ mod tests {
             }
             "#,
         )]);
-        let step = (0..w.fns.len()).find(|i| w.fn_info(*i).name == "step").unwrap();
+        let step = (0..w.fns.len())
+            .find(|i| w.fn_info(*i).name == "step")
+            .unwrap();
         let edges = w.static_edges(step);
         assert!(
-            edges.iter().any(|e| e.held == "pool.frame.data" && e.acquired == "wal.mem"),
+            edges
+                .iter()
+                .any(|e| e.held == "pool.frame.data" && e.acquired == "wal.mem"),
             "edges: {:?}",
-            edges.iter().map(|e| (e.held.clone(), e.acquired.clone())).collect::<Vec<_>>()
+            edges
+                .iter()
+                .map(|e| (e.held.clone(), e.acquired.clone()))
+                .collect::<Vec<_>>()
         );
     }
 
@@ -685,7 +718,9 @@ mod tests {
             }
             "#,
         )]);
-        let nest = (0..w.fns.len()).find(|i| w.fn_info(*i).name == "nest").unwrap();
+        let nest = (0..w.fns.len())
+            .find(|i| w.fn_info(*i).name == "nest")
+            .unwrap();
         let edges = w.static_edges(nest);
         assert!(edges.iter().any(|e| e.held == "s.a" && e.acquired == "s.b"));
         assert!(!edges.iter().any(|e| e.held == "s.b"));
@@ -707,7 +742,9 @@ mod tests {
             }
             "#,
         )]);
-        let outer = (0..w.fns.len()).find(|i| w.fn_info(*i).name == "outer").unwrap();
+        let outer = (0..w.fns.len())
+            .find(|i| w.fn_info(*i).name == "outer")
+            .unwrap();
         let edges = w.static_edges(outer);
         assert!(edges
             .iter()
@@ -731,7 +768,9 @@ mod tests {
             }
             "#,
         )]);
-        let flush = (0..w.fns.len()).find(|i| w.fn_info(*i).name == "flush").unwrap();
+        let flush = (0..w.fns.len())
+            .find(|i| w.fn_info(*i).name == "flush")
+            .unwrap();
         assert!(w.may_acquire[flush].contains("disk.pages"));
     }
 }

@@ -33,8 +33,19 @@ const LOCK_METHODS: &[&str] = &["lock", "read", "write", "try_lock", "try_read",
 
 /// Atomic access methods we track for R3.
 const ATOMIC_METHODS: &[&str] = &[
-    "load", "store", "swap", "fetch_add", "fetch_sub", "fetch_max", "fetch_min", "fetch_and",
-    "fetch_or", "fetch_xor", "fetch_update", "compare_exchange", "compare_exchange_weak",
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_max",
+    "fetch_min",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
 ];
 
 const KEYWORDS: &[&str] = &[
@@ -247,8 +258,10 @@ pub struct FileFacts {
 pub fn strip_wrappers(toks: &[&str]) -> Option<String> {
     // Wrappers whose last generic argument is "the real type".
     fn is_wrapper(id: &str) -> bool {
-        matches!(id, "Option" | "Arc" | "Box" | "Rc" | "Cell" | "RefCell" | "Mutex" | "RwLock")
-            || id.ends_with("Result")
+        matches!(
+            id,
+            "Option" | "Arc" | "Box" | "Rc" | "Cell" | "RefCell" | "Mutex" | "RwLock"
+        ) || id.ends_with("Result")
             || id == "MutexGuard"
             || id == "RwLockReadGuard"
             || id == "RwLockWriteGuard"
@@ -277,7 +290,11 @@ pub fn strip_wrappers(toks: &[&str]) -> Option<String> {
             i += 1;
             continue;
         }
-        if t.chars().next().map(|c| c.is_alphanumeric() || c == '_').unwrap_or(false) {
+        if t.chars()
+            .next()
+            .map(|c| c.is_alphanumeric() || c == '_')
+            .unwrap_or(false)
+        {
             last = Some(t);
             i += 1;
             // Lookahead: path continues only via `::`.
@@ -329,12 +346,17 @@ pub fn strip_wrappers(toks: &[&str]) -> Option<String> {
 
 /// True if any token names a raw lock guard type.
 fn mentions_lock_guard(toks: &[&str]) -> bool {
-    toks.iter().any(|t| matches!(*t, "MutexGuard" | "RwLockReadGuard" | "RwLockWriteGuard"))
+    toks.iter()
+        .any(|t| matches!(*t, "MutexGuard" | "RwLockReadGuard" | "RwLockWriteGuard"))
 }
 
 /// Parse a `// protocol: ...` comment's payload, if it is one.
 fn parse_protocol_comment(text: &str, line: u32) -> Option<Annotation> {
-    let body = text.trim_start_matches('/').trim_start_matches('!').trim_start_matches('*').trim();
+    let body = text
+        .trim_start_matches('/')
+        .trim_start_matches('!')
+        .trim_start_matches('*')
+        .trim();
     let rest = body.strip_prefix("protocol:")?.trim();
     let (kw, reason) = match rest.find(char::is_whitespace) {
         Some(i) => (&rest[..i], rest[i..].trim()),
@@ -347,7 +369,11 @@ fn parse_protocol_comment(text: &str, line: u32) -> Option<Annotation> {
         "mixed-ordering" => AnnKind::MixedOrdering,
         _ => return None,
     };
-    Some(Annotation { kind, reason: reason.to_string(), line })
+    Some(Annotation {
+        kind,
+        reason: reason.to_string(),
+        line,
+    })
 }
 
 /// Extract facts from one file. `path` should already be relative and
@@ -367,7 +393,12 @@ pub fn extract_file(path: &str, src: &str) -> FileFacts {
     // scanner resolves `.lock()` receivers against them.
     ex.mine_class_bindings();
     ex.scan_items(0, toks.len(), &mut Vec::new());
-    FileFacts { path: to_string_path(path), structs: ex.structs, classes: ex.classes, fns: ex.fns }
+    FileFacts {
+        path: to_string_path(path),
+        structs: ex.structs,
+        classes: ex.classes,
+        fns: ex.fns,
+    }
 }
 
 fn to_string_path(p: &str) -> String {
@@ -583,18 +614,34 @@ impl<'a, 't> Extractor<'a, 't> {
             j = self.skip_angles(j, end);
         }
         // Skip a `where` clause if present.
-        while j < end && !self.toks[j].is_punct("{") && !self.toks[j].is_punct("(") && !self.toks[j].is_punct(";") {
+        while j < end
+            && !self.toks[j].is_punct("{")
+            && !self.toks[j].is_punct("(")
+            && !self.toks[j].is_punct(";")
+        {
             j += 1;
         }
         if j >= end || !self.toks[j].is_punct("{") {
             // Tuple struct or unit struct: no named fields to record.
             if j < end && self.toks[j].is_punct("(") {
                 let close = self.skip_group(j, end, "(", ")");
-                self.structs.push(StructInfo { name, line, fields: Vec::new() });
+                self.structs.push(StructInfo {
+                    name,
+                    line,
+                    fields: Vec::new(),
+                });
                 // consume trailing `;`
-                return if close < end && self.toks[close].is_punct(";") { close + 1 } else { close };
+                return if close < end && self.toks[close].is_punct(";") {
+                    close + 1
+                } else {
+                    close
+                };
             }
-            self.structs.push(StructInfo { name, line, fields: Vec::new() });
+            self.structs.push(StructInfo {
+                name,
+                line,
+                fields: Vec::new(),
+            });
             return j + 1;
         }
         let close = self.skip_group(j, end, "{", "}");
@@ -655,7 +702,11 @@ impl<'a, 't> Extractor<'a, 't> {
                             m += 1;
                         }
                         let is_atomic = ty.iter().any(|t| t.starts_with("Atomic"));
-                        fields.push(FieldInfo { name: fname, type_core: strip_wrappers(&ty), is_atomic });
+                        fields.push(FieldInfo {
+                            name: fname,
+                            type_core: strip_wrappers(&ty),
+                            is_atomic,
+                        });
                         k = m + 1;
                         continue;
                     }
@@ -697,7 +748,10 @@ impl<'a, 't> Extractor<'a, 't> {
             return j + 1;
         }
         let close = self.skip_group(j, end, "{", "}");
-        ctx.push(ImplCtx { self_type, trait_name });
+        ctx.push(ImplCtx {
+            self_type,
+            trait_name,
+        });
         self.scan_items(j + 1, close.saturating_sub(1), ctx);
         ctx.pop();
         close
@@ -717,7 +771,10 @@ impl<'a, 't> Extractor<'a, 't> {
             return j + 1;
         }
         let close = self.skip_group(j, end, "{", "}");
-        ctx.push(ImplCtx { self_type: Some(name.clone()), trait_name: Some(name) });
+        ctx.push(ImplCtx {
+            self_type: Some(name.clone()),
+            trait_name: Some(name),
+        });
         self.scan_items(j + 1, close.saturating_sub(1), ctx);
         ctx.pop();
         close
@@ -918,8 +975,7 @@ impl<'a, 't> Extractor<'a, 't> {
             // The class is the final top-level string argument.
             let mut depth = 0i32;
             let mut class: Option<String> = None;
-            for k in i + 3..close {
-                let t = &toks[k];
+            for t in &toks[i + 3..close] {
                 if t.kind == TokKind::Punct {
                     match t.text {
                         "(" | "[" | "{" => depth += 1,
@@ -935,7 +991,11 @@ impl<'a, 't> Extractor<'a, 't> {
             // literal, `let name = ...`, or `self.name = ...`.
             let name = self.binding_name_before(i);
             if let (Some(name), Some(class)) = (name, class) {
-                if !self.classes.iter().any(|c| c.name == name && c.class == class) {
+                if !self
+                    .classes
+                    .iter()
+                    .any(|c| c.name == name && c.class == class)
+                {
                     self.classes.push(ClassBinding { name, class });
                 }
             }
@@ -997,7 +1057,10 @@ struct ActiveScope {
 
 impl<'a, 't> BodyScanner<'a, 't> {
     fn class_for(&self, name: &str) -> Option<&str> {
-        self.classes.iter().find(|c| c.name == name).map(|c| c.class.as_str())
+        self.classes
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.class.as_str())
     }
 
     fn scan(&mut self, start: usize, end: usize) {
@@ -1072,17 +1135,18 @@ impl<'a, 't> BodyScanner<'a, 't> {
             }
 
             // `drop(name)` releases a named guard early.
-            if t.is_ident("drop") && i + 2 < end && toks[i + 1].is_punct("(") {
-                if toks[i + 2].kind == TokKind::Ident && i + 3 < end && toks[i + 3].is_punct(")") {
-                    let name = toks[i + 2].text;
-                    if let Some(pos) =
-                        active.iter().position(|s| s.name.as_deref() == Some(name))
-                    {
-                        let s = active.remove(pos);
-                        self.ops.push(Op::EndScope { scope: s.id });
-                        i += 4;
-                        continue;
-                    }
+            if t.is_ident("drop")
+                && i + 3 < end
+                && toks[i + 1].is_punct("(")
+                && toks[i + 2].kind == TokKind::Ident
+                && toks[i + 3].is_punct(")")
+            {
+                let name = toks[i + 2].text;
+                if let Some(pos) = active.iter().position(|s| s.name.as_deref() == Some(name)) {
+                    let s = active.remove(pos);
+                    self.ops.push(Op::EndScope { scope: s.id });
+                    i += 4;
+                    continue;
                 }
             }
 
@@ -1091,7 +1155,10 @@ impl<'a, 't> BodyScanner<'a, 't> {
             if t.kind == TokKind::Ident && !KEYWORDS.contains(&t.text) {
                 let name = t.text;
                 let mut after = i + 1;
-                if after < end && toks[after].is_punct("::") && after + 1 < end && toks[after + 1].is_punct("<")
+                if after < end
+                    && toks[after].is_punct("::")
+                    && after + 1 < end
+                    && toks[after + 1].is_punct("<")
                 {
                     let close = self.skip_angles_fwd(after + 1, end);
                     after = close;
@@ -1199,11 +1266,7 @@ impl<'a, 't> BodyScanner<'a, 't> {
         }
         let mut segs: Vec<Seg> = Vec::new();
         let mut j = dot; // points at a `.`; the segment is before it
-        loop {
-            let before = match self.prev_sig(j, floor) {
-                Some(b) => b,
-                None => break,
-            };
+        while let Some(before) = self.prev_sig(j, floor) {
             let t = &toks[before];
             if t.is_punct(")") {
                 // Method call segment: skip back over the balanced
@@ -1382,7 +1445,12 @@ impl<'a, 't> BodyScanner<'a, 't> {
                     // orderings list with a sentinel "exempt" entry so
                     // downstream can skip it without re-reading files.
                     let exempt = self.mixed_ordering_at(line);
-                    let mut a = RawAtomic { chain, method: name.to_string(), orderings, line };
+                    let mut a = RawAtomic {
+                        chain,
+                        method: name.to_string(),
+                        orderings,
+                        line,
+                    };
                     if exempt {
                         a.orderings.clear();
                         a.orderings.push("Exempt".to_string());
@@ -1412,8 +1480,17 @@ impl<'a, 't> BodyScanner<'a, 't> {
                         let id = *next_scope;
                         *next_scope += 1;
                         let stmt = !is_let || bind_name.is_none();
-                        self.ops.push(Op::Acquire { class, scope: id, line });
-                        active.push(ActiveScope { id, depth, name: bind_name, stmt });
+                        self.ops.push(Op::Acquire {
+                            class,
+                            scope: id,
+                            line,
+                        });
+                        active.push(ActiveScope {
+                            id,
+                            depth,
+                            name: bind_name,
+                            stmt,
+                        });
                         return;
                     }
                 }
@@ -1448,7 +1525,12 @@ impl<'a, 't> BodyScanner<'a, 't> {
         let scope = if is_let {
             let id = *next_scope;
             *next_scope += 1;
-            active.push(ActiveScope { id, depth, name: bind_name.clone(), stmt: bind_name.is_none() });
+            active.push(ActiveScope {
+                id,
+                depth,
+                name: bind_name.clone(),
+                stmt: bind_name.is_none(),
+            });
             Some(id)
         } else {
             None
@@ -1456,10 +1538,22 @@ impl<'a, 't> BodyScanner<'a, 't> {
         if let (Some(bn), Recv::Chain(_) | Recv::Path(_) | Recv::None) = (&bind_name, &recv) {
             self.locals.push((
                 bn.clone(),
-                TyperHint::FromCall(RawCall { name: name.to_string(), recv: recv.clone(), line }),
+                TyperHint::FromCall(RawCall {
+                    name: name.to_string(),
+                    recv: recv.clone(),
+                    line,
+                }),
             ));
         }
-        self.ops.push(Op::Call { call: RawCall { name: name.to_string(), recv, line }, scope, line });
+        self.ops.push(Op::Call {
+            call: RawCall {
+                name: name.to_string(),
+                recv,
+                line,
+            },
+            scope,
+            line,
+        });
     }
 }
 
@@ -1499,8 +1593,14 @@ mod tests {
             }
             "#,
         );
-        assert!(f.classes.iter().any(|c| c.name == "frames" && c.class == "pool.shard.frames"));
-        assert!(f.classes.iter().any(|c| c.name == "m" && c.class == "x.local"));
+        assert!(f
+            .classes
+            .iter()
+            .any(|c| c.name == "frames" && c.class == "pool.shard.frames"));
+        assert!(f
+            .classes
+            .iter()
+            .any(|c| c.name == "m" && c.class == "x.local"));
     }
 
     #[test]
@@ -1529,7 +1629,10 @@ mod tests {
                 Op::Atomic(a) => format!("atomic:{}", a.method),
             })
             .collect();
-        assert_eq!(kinds, vec!["acq:c.frames", "call:touch", "end", "call:after"]);
+        assert_eq!(
+            kinds,
+            vec!["acq:c.frames", "call:touch", "end", "call:after"]
+        );
     }
 
     #[test]
@@ -1614,7 +1717,10 @@ mod tests {
         let a = f.fns.iter().find(|x| x.name == "append").unwrap();
         let t = f.fns.iter().find(|x| x.name == "tail").unwrap();
         assert!(a.anns.iter().any(|x| x.kind == AnnKind::WalAppend));
-        assert!(t.anns.is_empty(), "tail is within the 6-line window but the annotation is consumed");
+        assert!(
+            t.anns.is_empty(),
+            "tail is within the 6-line window but the annotation is consumed"
+        );
     }
 
     #[test]
@@ -1669,15 +1775,18 @@ mod tests {
             }
             other => panic!("unexpected recv {other:?}"),
         }
-        assert!(calls.iter().any(|c| c.name == "helper" && c.recv == Recv::None));
-        assert!(calls.iter().any(|c| c.name == "new" && c.recv == Recv::Path("LeafView".into())));
+        assert!(calls
+            .iter()
+            .any(|c| c.name == "helper" && c.recv == Recv::None));
+        assert!(calls
+            .iter()
+            .any(|c| c.name == "new" && c.recv == Recv::Path("LeafView".into())));
     }
 
     #[test]
     fn params_and_ret_types() {
-        let f = facts(
-            "fn build(page: &mut Page, n: usize) -> StorageResult<FrameGuard> { body() }",
-        );
+        let f =
+            facts("fn build(page: &mut Page, n: usize) -> StorageResult<FrameGuard> { body() }");
         let b = &f.fns[0];
         assert_eq!(b.params[0], ("page".to_string(), Some("Page".to_string())));
         assert_eq!(b.ret.as_deref(), Some("FrameGuard"));
@@ -1685,12 +1794,18 @@ mod tests {
 
     #[test]
     fn strip_wrapper_cases() {
-        assert_eq!(strip_wrappers(&["Arc", "<", "dyn", "DiskManager", ">"]).as_deref(), Some("DiskManager"));
+        assert_eq!(
+            strip_wrappers(&["Arc", "<", "dyn", "DiskManager", ">"]).as_deref(),
+            Some("DiskManager")
+        );
         assert_eq!(
             strip_wrappers(&["RwLockWriteGuard", "<", "'", "a", ",", "Page", ">"]).as_deref(),
             Some("Page")
         );
         assert_eq!(strip_wrappers(&["(", "u32", ",", "u32", ")"]), None);
-        assert_eq!(strip_wrappers(&["&", "mut", "Page"]).as_deref(), Some("Page"));
+        assert_eq!(
+            strip_wrappers(&["&", "mut", "Page"]).as_deref(),
+            Some("Page")
+        );
     }
 }

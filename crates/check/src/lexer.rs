@@ -98,7 +98,11 @@ pub fn lex(src: &str) -> Vec<Tok<'_>> {
                     while i < bytes.len() && bytes[i] != b'\n' {
                         i += 1;
                     }
-                    toks.push(Tok { kind: TokKind::Comment, text: &src[start..i], line: start_line });
+                    toks.push(Tok {
+                        kind: TokKind::Comment,
+                        text: &src[start..i],
+                        line: start_line,
+                    });
                     continue;
                 }
                 b'*' => {
@@ -118,7 +122,11 @@ pub fn lex(src: &str) -> Vec<Tok<'_>> {
                             i += 1;
                         }
                     }
-                    toks.push(Tok { kind: TokKind::Comment, text: &src[start..i], line: start_line });
+                    toks.push(Tok {
+                        kind: TokKind::Comment,
+                        text: &src[start..i],
+                        line: start_line,
+                    });
                     continue;
                 }
                 _ => {}
@@ -130,7 +138,11 @@ pub fn lex(src: &str) -> Vec<Tok<'_>> {
             if let Some((end, nl_end)) = try_raw_string(bytes, i) {
                 bump_lines(bytes, start, end, &mut line);
                 let _ = nl_end;
-                toks.push(Tok { kind: TokKind::Str, text: &src[start..end], line: start_line });
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: &src[start..end],
+                    line: start_line,
+                });
                 i = end;
                 continue;
             }
@@ -145,8 +157,16 @@ pub fn lex(src: &str) -> Vec<Tok<'_>> {
             // b"..." / b'...' prefix: if the ident is exactly `b` and a
             // quote follows, fall through to the literal cases below by
             // not consuming here.
-            if !(j == i + 1 && b == b'b' && j < bytes.len() && (bytes[j] == b'"' || bytes[j] == b'\'')) {
-                toks.push(Tok { kind: TokKind::Ident, text: &src[i..j], line: start_line });
+            if !(j == i + 1
+                && b == b'b'
+                && j < bytes.len()
+                && (bytes[j] == b'"' || bytes[j] == b'\''))
+            {
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: &src[i..j],
+                    line: start_line,
+                });
                 i = j;
                 continue;
             }
@@ -173,7 +193,11 @@ pub fn lex(src: &str) -> Vec<Tok<'_>> {
             }
             let j = j.min(src.len());
             bump_lines(bytes, i, j, &mut line);
-            toks.push(Tok { kind: TokKind::Str, text: &src[lit_start..j], line: start_line });
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: &src[lit_start..j],
+                line: start_line,
+            });
             i = j;
             continue;
         }
@@ -190,7 +214,11 @@ pub fn lex(src: &str) -> Vec<Tok<'_>> {
                     k += 1;
                 }
                 if k >= bytes.len() || bytes[k] != b'\'' {
-                    toks.push(Tok { kind: TokKind::Lifetime, text: &src[i..k], line: start_line });
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: &src[i..k],
+                        line: start_line,
+                    });
                     i = k;
                     continue;
                 }
@@ -210,7 +238,11 @@ pub fn lex(src: &str) -> Vec<Tok<'_>> {
             }
             let k = k.min(src.len());
             bump_lines(bytes, i, k, &mut line);
-            toks.push(Tok { kind: TokKind::Str, text: &src[lit_start..k], line: start_line });
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: &src[lit_start..k],
+                line: start_line,
+            });
             i = k;
             continue;
         }
@@ -225,18 +257,29 @@ pub fn lex(src: &str) -> Vec<Tok<'_>> {
             {
                 j += 1;
             }
-            toks.push(Tok { kind: TokKind::Number, text: &src[i..j], line: start_line });
+            toks.push(Tok {
+                kind: TokKind::Number,
+                text: &src[i..j],
+                line: start_line,
+            });
             i = j;
             continue;
         }
 
         // Multi-char puncts we want to keep atomic (longest first).
-        const MULTI: &[&str] = &["..=", "::", "->", "=>", "..", "&&", "||", "<<", ">>", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "|=", "&=", "^="];
+        const MULTI: &[&str] = &[
+            "..=", "::", "->", "=>", "..", "&&", "||", "<<", ">>", "==", "!=", "<=", ">=", "+=",
+            "-=", "*=", "/=", "|=", "&=", "^=",
+        ];
         let rest = &src[i..];
         let mut matched = false;
         for m in MULTI {
             if rest.starts_with(m) {
-                toks.push(Tok { kind: TokKind::Punct, text: &src[i..i + m.len()], line: start_line });
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: &src[i..i + m.len()],
+                    line: start_line,
+                });
                 i += m.len();
                 matched = true;
                 break;
@@ -248,7 +291,11 @@ pub fn lex(src: &str) -> Vec<Tok<'_>> {
 
         // Single punct char (or degradation path for anything else).
         let ch_len = src[i..].chars().next().map(char::len_utf8).unwrap_or(1);
-        toks.push(Tok { kind: TokKind::Punct, text: &src[i..i + ch_len], line: start_line });
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: &src[i..i + ch_len],
+            line: start_line,
+        });
         i += ch_len;
     }
 
@@ -368,22 +415,32 @@ self.real.load(Ordering::Relaxed);
     #[test]
     fn lifetimes_are_not_chars() {
         let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
-        assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
-        assert!(toks.iter().any(|t| t.kind == TokKind::Str && t.text == "'x'"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "'x'"));
     }
 
     #[test]
     fn raw_strings_with_hashes() {
         let toks = lex(r####"let s = r##"contains "# inside"##; x"####);
-        assert!(toks.iter().any(|t| t.kind == TokKind::Str && t.text.starts_with("r##")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.starts_with("r##")));
         assert!(toks.iter().any(|t| t.is_ident("x")));
     }
 
     #[test]
     fn byte_strings_and_chars() {
         let toks = lex(r#"let a = b"bytes"; let c = b'q'; done"#);
-        assert!(toks.iter().any(|t| t.kind == TokKind::Str && t.text == "b\"bytes\""));
-        assert!(toks.iter().any(|t| t.kind == TokKind::Str && t.text == "b'q'"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "b\"bytes\""));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "b'q'"));
         assert!(toks.iter().any(|t| t.is_ident("done")));
     }
 
@@ -408,7 +465,11 @@ self.real.load(Ordering::Relaxed);
     #[test]
     fn multi_char_puncts_stay_atomic() {
         let toks = lex("a::b -> c => d..=e");
-        let puncts: Vec<&str> = toks.iter().filter(|t| t.kind == TokKind::Punct).map(|t| t.text).collect();
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text)
+            .collect();
         assert_eq!(puncts, vec!["::", "->", "=>", "..="]);
     }
 }

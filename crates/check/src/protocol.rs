@@ -18,7 +18,7 @@
 //!   `(held, acquired)` lock-class pair — including pairs created
 //!   interprocedurally via callee summaries — must be declared in
 //!   `check/lockorder.toml`'s `may_hold_while_acquiring`. Same-class
-//!   nesting is an error unless the class is in [`SELF_EDGE_OK`]
+//!   nesting is an error unless the class is in the `SELF_EDGE_OK` list
 //!   (page latches legitimately couple parent→child). This closes the
 //!   PR 3 cross-shard rule statically: holding one `pool.shard.frames`
 //!   lock while taking another is a self-edge and flagged.
@@ -63,11 +63,18 @@ const CHECKER: &str = "protocol";
 const SELF_EDGE_OK: &[&str] = &["pool.frame.data"];
 
 /// Directory names excluded anywhere in the tree.
-const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "tests", "benches", "examples", "shims", "bin"];
+const SKIP_DIRS: &[&str] = &[
+    "target", ".git", ".github", "tests", "benches", "examples", "shims", "bin",
+];
 
 /// Path prefixes (relative, slash-normalized) excluded from the scan.
-const SKIP_PREFIXES: &[&str] =
-    &["crates/check/", "crates/race/", "crates/bench/", "crates/sync/", "crates/obs/"];
+const SKIP_PREFIXES: &[&str] = &[
+    "crates/check/",
+    "crates/race/",
+    "crates/bench/",
+    "crates/sync/",
+    "crates/obs/",
+];
 
 /// Collect the engine source files under `root`.
 pub fn scan_files(root: &Path) -> io::Result<Vec<(String, String)>> {
@@ -87,7 +94,10 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) -> io::Result<
                 continue;
             }
             let rel = rel_path(root, &path);
-            if SKIP_PREFIXES.iter().any(|p| rel.starts_with(p) || format!("{rel}/").starts_with(p)) {
+            if SKIP_PREFIXES
+                .iter()
+                .any(|p| rel.starts_with(p) || format!("{rel}/").starts_with(p))
+            {
                 continue;
             }
             walk(root, &path, out)?;
@@ -179,7 +189,9 @@ fn logs_locally(ws: &Workspace, id: FnId) -> bool {
 /// R1: WAL-before-data.
 fn check_r1(ws: &Workspace, report: &mut Report) {
     let n = ws.fns.len();
-    let seed: Vec<bool> = (0..n).map(|i| has_ann(ws, i, AnnKind::PageMutation)).collect();
+    let seed: Vec<bool> = (0..n)
+        .map(|i| has_ann(ws, i, AnnKind::PageMutation))
+        .collect();
     let exempt: Vec<bool> = (0..n).map(|i| has_ann(ws, i, AnnKind::NoWal)).collect();
     let logs: Vec<bool> = (0..n).map(|i| logs_locally(ws, i)).collect();
 
@@ -310,7 +322,10 @@ fn check_r2(ws: &Workspace, manifest: &crate::lockorder::LockOrderManifest, repo
                 }
                 continue;
             }
-            if !manifest.allowed.contains(&(e.held.clone(), e.acquired.clone())) {
+            if !manifest
+                .allowed
+                .contains(&(e.held.clone(), e.acquired.clone()))
+            {
                 report.error(
                     CHECKER,
                     "latch-undeclared-edge",
@@ -388,15 +403,13 @@ fn check_r3(ws: &Workspace, report: &mut Report) {
             } else {
                 None
             };
-            let owner = owner.or_else(|| {
-                match ws.atomic_field_owners.get(&field) {
-                    Some(owners) if owners.len() == 1 => Some(owners[0].clone()),
-                    Some(_) => {
-                        ambiguous.insert(field.clone());
-                        None
-                    }
-                    None => None,
+            let owner = owner.or_else(|| match ws.atomic_field_owners.get(&field) {
+                Some(owners) if owners.len() == 1 => Some(owners[0].clone()),
+                Some(_) => {
+                    ambiguous.insert(field.clone());
+                    None
                 }
+                None => None,
             });
             let key = match owner {
                 Some(t) => format!("{t}.{field}"),
@@ -413,7 +426,13 @@ fn check_r3(ws: &Workspace, report: &mut Report) {
                 }
                 "store" => {
                     if let Some(o) = ords.first() {
-                        sites.push((Role::Store, o.clone(), file.clone(), a.line, fn_path.clone()));
+                        sites.push((
+                            Role::Store,
+                            o.clone(),
+                            file.clone(),
+                            a.line,
+                            fn_path.clone(),
+                        ));
                     }
                 }
                 _ => {
@@ -428,7 +447,13 @@ fn check_r3(ws: &Workspace, report: &mut Report) {
                     // on every RMW method; failure/fetch orders are
                     // exempt.
                     if let Some(o) = ords.first() {
-                        sites.push((Role::Store, o.clone(), file.clone(), a.line, fn_path.clone()));
+                        sites.push((
+                            Role::Store,
+                            o.clone(),
+                            file.clone(),
+                            a.line,
+                            fn_path.clone(),
+                        ));
                     }
                 }
             }
@@ -438,14 +463,22 @@ fn check_r3(ws: &Workspace, report: &mut Report) {
     let mut n_fields = 0usize;
     for (key, sites) in &by_key {
         n_fields += 1;
-        let rel_stores: Vec<&Site> =
-            sites.iter().filter(|s| s.0 == Role::Store && release_ish(&s.1)).collect();
-        let weak_stores: Vec<&Site> =
-            sites.iter().filter(|s| s.0 == Role::Store && !release_ish(&s.1)).collect();
-        let acq_loads: Vec<&Site> =
-            sites.iter().filter(|s| s.0 == Role::Load && acquire_ish(&s.1)).collect();
-        let weak_loads: Vec<&Site> =
-            sites.iter().filter(|s| s.0 == Role::Load && !acquire_ish(&s.1)).collect();
+        let rel_stores: Vec<&Site> = sites
+            .iter()
+            .filter(|s| s.0 == Role::Store && release_ish(&s.1))
+            .collect();
+        let weak_stores: Vec<&Site> = sites
+            .iter()
+            .filter(|s| s.0 == Role::Store && !release_ish(&s.1))
+            .collect();
+        let acq_loads: Vec<&Site> = sites
+            .iter()
+            .filter(|s| s.0 == Role::Load && acquire_ish(&s.1))
+            .collect();
+        let weak_loads: Vec<&Site> = sites
+            .iter()
+            .filter(|s| s.0 == Role::Load && !acquire_ish(&s.1))
+            .collect();
 
         if !rel_stores.is_empty() && !weak_loads.is_empty() {
             let s = &rel_stores[0];
@@ -578,7 +611,10 @@ fn forgot_logging(leaf: &mut Leaf) {{
             .iter()
             .find(|f| f.code == "wal-unlogged-path")
             .expect("unlogged mutation path must be flagged");
-        assert!(f.detail.contains("fix.rs"), "diagnostic names the file: {f:?}");
+        assert!(
+            f.detail.contains("fix.rs"),
+            "diagnostic names the file: {f:?}"
+        );
         assert!(
             f.detail.contains("forgot_logging -> Leaf::insert"),
             "diagnostic shows the call chain: {f:?}"
@@ -605,7 +641,9 @@ fn entry(leaf: &mut Leaf) {{
             .collect();
         assert_eq!(flagged.len(), 1, "only the root is reported: {r}");
         assert!(
-            flagged[0].detail.contains("entry -> helper -> Leaf::insert"),
+            flagged[0]
+                .detail
+                .contains("entry -> helper -> Leaf::insert"),
             "chain runs root to primitive: {:?}",
             flagged[0]
         );
@@ -666,7 +704,10 @@ impl S {
             f.detail.contains("\"class.a\" -> \"class.b\""),
             "diagnostic names the ordered pair: {f:?}"
         );
-        assert!(f.detail.contains("S::nest"), "diagnostic names the function: {f:?}");
+        assert!(
+            f.detail.contains("S::nest"),
+            "diagnostic names the function: {f:?}"
+        );
     }
 
     #[test]
@@ -695,7 +736,10 @@ impl S {
             .iter()
             .find(|f| f.code == "latch-undeclared-edge")
             .expect("edge created through a callee must be flagged");
-        assert!(f.detail.contains("via S::inner"), "diagnostic names the callee: {f:?}");
+        assert!(
+            f.detail.contains("via S::inner"),
+            "diagnostic names the callee: {f:?}"
+        );
     }
 
     #[test]
@@ -748,8 +792,9 @@ impl S {
         let m = manifest("\n[classes]\n\"class.a\" = \"a\"\n\n[may_hold_while_acquiring]\n");
         let r = check_sources(&[("fix.rs", src)], Some(&m));
         assert!(
-            r.findings.iter().any(|f| f.code == "latch-unknown-class"
-                && f.detail.contains("not.in.manifest")),
+            r.findings
+                .iter()
+                .any(|f| f.code == "latch-unknown-class" && f.detail.contains("not.in.manifest")),
             "undeclared class must be flagged: {r}"
         );
     }
@@ -771,7 +816,10 @@ impl P {{
 "
         );
         let r = check_sources(&[("fix.rs", src.as_str())], None);
-        assert!(r.is_clean(), "Release/Acquire pairing is the vetted shape: {r}");
+        assert!(
+            r.is_clean(),
+            "Release/Acquire pairing is the vetted shape: {r}"
+        );
     }
 
     #[test]
@@ -790,8 +838,14 @@ impl P {{
             .iter()
             .find(|f| f.code == "atomic-relaxed-consume")
             .expect("the PR 6 lost-write shape must be flagged");
-        assert!(f.detail.contains("P.ready"), "diagnostic names the field: {f:?}");
-        assert!(f.detail.contains("P::consume"), "diagnostic names the load site: {f:?}");
+        assert!(
+            f.detail.contains("P.ready"),
+            "diagnostic names the field: {f:?}"
+        );
+        assert!(
+            f.detail.contains("P::consume"),
+            "diagnostic names the load site: {f:?}"
+        );
     }
 
     #[test]
@@ -809,7 +863,9 @@ impl P {{
         );
         let r = check_sources(&[("fix.rs", src.as_str())], None);
         assert!(
-            !r.findings.iter().any(|f| f.code == "atomic-relaxed-consume"),
+            !r.findings
+                .iter()
+                .any(|f| f.code == "atomic-relaxed-consume"),
             "audited site must be exempt: {r}"
         );
     }
@@ -841,7 +897,9 @@ impl P {{
         );
         let r = check_sources(&[("fix.rs", src.as_str())], None);
         assert!(
-            r.findings.iter().any(|f| f.code == "atomic-relaxed-publication"),
+            r.findings
+                .iter()
+                .any(|f| f.code == "atomic-relaxed-publication"),
             "Acquire load with only Relaxed stores publishes nothing: {r}"
         );
     }

@@ -215,8 +215,8 @@ fn lint_file(report: &mut Report, rel: &Path, text: &str) -> usize {
         if !facade_exempt {
             let uses_parking = contains_word(line, PARKING);
             let uses_std_atomic = line.contains(STD_ATOMIC);
-            let uses_std_lock = line.contains(STD_SYNC)
-                && FACADE_TYPES.iter().any(|t| contains_word(line, t));
+            let uses_std_lock =
+                line.contains(STD_SYNC) && FACADE_TYPES.iter().any(|t| contains_word(line, t));
             if uses_parking || uses_std_atomic || uses_std_lock {
                 report.error(
                     "srclint",

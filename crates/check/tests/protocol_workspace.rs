@@ -22,7 +22,10 @@ fn sources() -> Vec<(String, String)> {
 }
 
 fn as_refs(files: &[(String, String)]) -> Vec<(&str, &str)> {
-    files.iter().map(|(p, s)| (p.as_str(), s.as_str())).collect()
+    files
+        .iter()
+        .map(|(p, s)| (p.as_str(), s.as_str()))
+        .collect()
 }
 
 fn manifest_text() -> String {
@@ -53,7 +56,10 @@ fn sabotage_dropping_no_wal_audit_is_caught() {
         .filter(|l| !l.trim_start().starts_with("// protocol: no-wal"))
         .collect::<Vec<_>>()
         .join("\n");
-    assert!(rec.1.lines().count() < before, "audit line was present and removed");
+    assert!(
+        rec.1.lines().count() < before,
+        "audit line was present and removed"
+    );
 
     let m = parse_manifest(&manifest_text()).expect("manifest parses");
     let refs = as_refs(&files);
@@ -107,7 +113,9 @@ fn sabotage_relaxed_epoch_read_is_caught() {
         .expect("tree.rs scanned");
     let needle = "self.epoch.load(Ordering::Acquire)";
     assert!(tree.1.contains(needle), "epoch read present");
-    tree.1 = tree.1.replacen(needle, "self.epoch.load(Ordering::Relaxed)", 1);
+    tree.1 = tree
+        .1
+        .replacen(needle, "self.epoch.load(Ordering::Relaxed)", 1);
 
     let m = parse_manifest(&manifest_text()).expect("manifest parses");
     let refs = as_refs(&files);

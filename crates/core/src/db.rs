@@ -35,10 +35,25 @@ pub struct EngineConfig {
     /// shippable) and a new one is started. Only durable databases use
     /// it. Small values (a few KiB) force frequent seals for tests.
     pub wal_segment_bytes: u64,
+    /// Network frontend: maximum concurrent client sessions the server
+    /// admits; a connection past the limit is answered `BUSY` at handshake
+    /// time and closed (see [`crate::admission::AdmissionGate`]).
+    pub max_sessions: usize,
+    /// Network frontend: bounded in-flight request queue — how many
+    /// data-plane requests may execute concurrently across all sessions.
+    /// Requests past the limit are shed with a typed `BUSY`, never queued
+    /// unboundedly. Zero sheds everything (administrative drain).
+    pub admission_queue: usize,
 }
 
 /// Default WAL segment seal threshold (4 MiB).
 pub const DEFAULT_WAL_SEGMENT_BYTES: u64 = 4 << 20;
+
+/// Default concurrent-session ceiling for the network frontend.
+pub const DEFAULT_MAX_SESSIONS: usize = 64;
+
+/// Default in-flight request ceiling for the network frontend.
+pub const DEFAULT_ADMISSION_QUEUE: usize = 128;
 
 impl Default for EngineConfig {
     fn default() -> Self {
@@ -47,6 +62,8 @@ impl Default for EngineConfig {
             group_commit: true,
             internal_region_pages: 0,
             wal_segment_bytes: DEFAULT_WAL_SEGMENT_BYTES,
+            max_sessions: DEFAULT_MAX_SESSIONS,
+            admission_queue: DEFAULT_ADMISSION_QUEUE,
         }
     }
 }
@@ -58,8 +75,7 @@ impl EngineConfig {
         EngineConfig {
             pool_shards: Some(1),
             group_commit: false,
-            internal_region_pages: 0,
-            wal_segment_bytes: DEFAULT_WAL_SEGMENT_BYTES,
+            ..EngineConfig::default()
         }
     }
 

@@ -15,6 +15,7 @@
 //!   table, and crash simulation.
 //! * [`sidefile::SideFile`] — the §7.2 side file.
 
+pub mod admission;
 pub mod daemon;
 pub mod db;
 pub mod error;
@@ -26,6 +27,7 @@ pub mod replica;
 pub mod sidefile;
 pub mod stats;
 
+pub use admission::{AdmissionGate, Busy, RequestPermit, SessionPermit};
 pub use daemon::{DaemonOptions, ReorgDaemon};
 pub use db::{Database, EngineConfig};
 pub use error::{CoreError, CoreResult};

@@ -188,22 +188,47 @@ impl Replica {
             CoreError::Recovery(format!("{name:?} is not a WAL segment file name"))
         })?;
         let bytes = std::fs::read(path).map_err(obr_storage::StorageError::Io)?;
-        let scan = LogReader::scan(&bytes);
-        if let Some(tail) = scan.torn {
-            return Err(CoreError::Recovery(format!(
-                "sealed segment {name} is torn at byte {}: refusing to ship a \
-                 partial segment",
-                tail.offset
-            )));
+        self.ingest_segment_bytes(first_lsn, &bytes, true, None)
+    }
+
+    /// Ingest a segment shipped as raw bytes — the network transport path
+    /// (the wire carries `(first_lsn, sealed, bytes)` frames; see
+    /// PROTOCOL.md §7).
+    ///
+    /// For a **sealed** segment a torn record is corruption, exactly as in
+    /// [`Self::ingest_segment`]. For the **active** segment (`sealed =
+    /// false`) a torn tail is simply the primary's in-flight write: the
+    /// intact prefix is applied and the tail ignored. `apply_upto` caps
+    /// application at the primary's durable LSN so records that were
+    /// written but not yet fsynced on the primary are not replayed ahead
+    /// of durability.
+    pub fn ingest_segment_bytes(
+        &self,
+        first_lsn: Lsn,
+        bytes: &[u8],
+        sealed: bool,
+        apply_upto: Option<Lsn>,
+    ) -> CoreResult<u64> {
+        let scan = LogReader::scan(bytes);
+        if sealed {
+            if let Some(tail) = scan.torn {
+                return Err(CoreError::Recovery(format!(
+                    "sealed segment at LSN {first_lsn} is torn at byte {}: \
+                     refusing to ship a partial segment",
+                    tail.offset
+                )));
+            }
         }
+        let upto = apply_upto.unwrap_or(Lsn(u64::MAX));
         let records: Vec<(Lsn, LogRecord)> = scan
             .records
             .into_iter()
             .enumerate()
             .map(|(i, rec)| (Lsn(first_lsn.0 + i as u64), rec))
+            .filter(|(lsn, _)| *lsn <= upto)
             .collect();
         let n = self.apply_batch(&records)?;
-        if n > 0 {
+        if sealed && n > 0 {
             let mut p = self.progress.lock();
             p.segments += 1;
             self.metrics.segments_ingested.inc();

@@ -78,6 +78,18 @@ pub enum TraceKind {
     /// A daemon cycle failed and will be retried next interval (the
     /// thread survives). `a` = consecutive failures so far.
     DaemonError,
+    /// The network frontend admitted a client session. `a` = live
+    /// sessions after the admit.
+    SessionOpen,
+    /// A client session ended (disconnect, protocol error, or drain).
+    /// `a` = live sessions after the close, `b` = requests it served.
+    SessionClose,
+    /// Admission control shed work with a `BUSY` answer. `a` = 0 for a
+    /// refused session, 1 for a refused request.
+    ServerShed,
+    /// The server entered shutdown: the listener stopped accepting and
+    /// live sessions are draining. `a` = sessions still live.
+    ServerDrain,
 }
 
 impl TraceKind {
@@ -102,6 +114,10 @@ impl TraceKind {
             TraceKind::DaemonCycle => "daemon_cycle",
             TraceKind::DaemonRun => "daemon_run",
             TraceKind::DaemonError => "daemon_error",
+            TraceKind::SessionOpen => "session_open",
+            TraceKind::SessionClose => "session_close",
+            TraceKind::ServerShed => "server_shed",
+            TraceKind::ServerDrain => "server_drain",
         }
     }
 }

@@ -1,0 +1,29 @@
+//! Network frontend for the obr engine.
+//!
+//! The paper's experiments drive the reorganizer from in-process
+//! workloads; a deployed system serves *clients*. This crate puts the
+//! assembled [`obr_core::Database`] behind a TCP listener speaking the
+//! length-prefixed binary protocol specified in `PROTOCOL.md`:
+//!
+//! * [`proto`] — the wire codec: framing, opcodes, typed error codes.
+//! * [`server`] — the frontend: thread-per-connection sessions over
+//!   [`obr_txn::Session`], admission control via
+//!   [`obr_core::AdmissionGate`] (bounded sessions + bounded in-flight
+//!   requests, shedding with `BUSY`), graceful drain, and WAL segment
+//!   shipping so a [`obr_core::Replica`] can follow over the wire.
+//! * [`client`] — a blocking client plus [`client::NetReplica`], a
+//!   replica that bootstraps and catches up entirely over the protocol.
+//! * [`scenario`] — the scripted scenario suite: bulk load, steady
+//!   churn, delete-epoch sparsification, reorganization under load, and
+//!   crash–restart, each phase emitting a metrics snapshot and ending
+//!   with an integrity check.
+
+pub mod client;
+pub mod proto;
+pub mod scenario;
+pub mod server;
+
+pub use client::{Client, ClientError, DbInfo, NetReplica};
+pub use proto::{ErrorCode, ProtoError, Request, Response};
+pub use scenario::{run_scenario, ScenarioOptions, ScenarioReport, SCENARIOS};
+pub use server::{Server, ServerConfig};

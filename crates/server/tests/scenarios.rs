@@ -1,0 +1,37 @@
+//! The full scenario suite at smoke scale: every scenario must pass with
+//! a clean post-run integrity check.
+
+use obr_server::scenario::{run_scenario, ScenarioOptions, SCENARIOS};
+
+#[test]
+fn every_scenario_passes_at_smoke_scale() {
+    let dir = std::env::temp_dir().join(format!("obr-scenario-suite-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = ScenarioOptions {
+        dir: dir.clone(),
+        clients: 2,
+        scale: 0.3,
+        pages: 2048,
+        snapshots_dir: None,
+    };
+    for name in SCENARIOS {
+        let report = run_scenario(name, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(report.check_clean, "{name}: dirty check");
+        assert!(report.total_ops() > 0, "{name}: no work done");
+        assert!(
+            report.phases.len() >= 2,
+            "{name}: every scenario has at least two phases"
+        );
+        for p in &report.phases {
+            assert!(
+                p.snapshot_json.contains("server_sessions"),
+                "{name}/{}: snapshot missing server metrics",
+                p.name
+            );
+        }
+        // The report serializes (consumed by the CLI and CI artifacts).
+        let json = report.to_json();
+        assert!(json.contains(&format!("\"scenario\": \"{name}\"")));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

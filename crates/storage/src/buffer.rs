@@ -453,8 +453,7 @@ impl BufferPool {
             match frames.get(&victim) {
                 // Only drop it if still unpinned and clean.
                 Some(f)
-                    if f.pin.load(Ordering::Acquire) == 0
-                        && !f.dirty.load(Ordering::Acquire) =>
+                    if f.pin.load(Ordering::Acquire) == 0 && !f.dirty.load(Ordering::Acquire) =>
                 {
                     frames.remove(&victim)
                 }
@@ -709,8 +708,7 @@ impl BufferPool {
                 // write (their writer has already released its guard, so
                 // nothing would flush them again).
                 frames.retain(|_, f| {
-                    let keep = f.pin.load(Ordering::Acquire) > 0
-                        || f.dirty.load(Ordering::Acquire);
+                    let keep = f.pin.load(Ordering::Acquire) > 0 || f.dirty.load(Ordering::Acquire);
                     if !keep {
                         dropped.push(Arc::clone(f));
                     }

@@ -694,9 +694,7 @@ impl LogManager {
             // position so the documented retry path (re-elected flusher,
             // same `file_next`) starts from a clean record boundary. If the
             // restore itself fails the file state is unknowable: poison.
-            if file.set_len(good_len).is_err()
-                || file.seek(SeekFrom::Start(good_len)).is_err()
-            {
+            if file.set_len(good_len).is_err() || file.seek(SeekFrom::Start(good_len)).is_err() {
                 self.poison();
             }
             return Err(e.into());

@@ -10,6 +10,11 @@
 //! obr-cli stats --workload [--json] [--keep DIR]
 //! obr-cli trace [--out PATH]
 //! obr-cli replica <dir> [--json]
+//! obr-cli serve <dir> [--addr A] [--pages N] [--segment-bytes B]
+//!                     [--max-sessions N] [--queue N]
+//! obr-cli client <addr> <op> [args...]
+//! obr-cli scenario <name>|all [--dir DIR] [--clients N] [--scale F]
+//!                             [--out PATH] [--snapshots DIR]
 //! ```
 //!
 //! Shell commands: `put K V`, `get K`, `del K`, `scan LO HI`, `stats`,
@@ -63,6 +68,28 @@
 //! [`obr::workloads::scripted_reorg_trace`] and emits its structured trace
 //! as JSON Lines — one event per line, schema documented in DESIGN.md — to
 //! stdout or to `--out PATH`.
+//!
+//! `serve <dir>` opens (or creates) the durable database under `<dir>`
+//! and serves it over TCP with the length-prefixed wire protocol of
+//! PROTOCOL.md — per-connection sessions, admission control
+//! (`--max-sessions` / `--queue`), and WAL segment shipping for network
+//! replicas. The bound address is printed on startup (`--addr` defaults
+//! to `127.0.0.1:4140`; port 0 picks a free port). Typing `quit` (or
+//! closing stdin) drains sessions, checkpoints, and exits.
+//!
+//! `client <addr> <op>` runs one wire-protocol operation against a
+//! running server and prints the result: `ping`, `get K`, `put K V`,
+//! `del K`, `scan LO HI [LIMIT]`, `stats`, `checkpoint`,
+//! `reorg [--force]`, `info`. It is a smoke-test and scripting tool, not
+//! a shell; the exit code is 0 on success, 1 on a server-reported error.
+//!
+//! `scenario <name>|all` runs the scripted end-to-end scenario suite of
+//! [`obr::server::scenario`] — each scenario boots a real server, drives
+//! it with concurrent wire clients, and ends with a full integrity check
+//! (`bulk-load`, `steady-churn`, `delete-epoch`, `reorg-under-load`,
+//! `crash-restart`). `--out` writes the machine-readable reports,
+//! `--snapshots DIR` keeps one metrics snapshot per phase (the CI
+//! artifacts), and the exit code is 1 if any scenario fails its check.
 //!
 //! `replica <dir>` bootstraps a log-shipping read replica from the durable
 //! files of the primary database under `<dir>` (never modifying them) and
@@ -566,6 +593,321 @@ fn run_replica(args: &[String]) -> ! {
     }
 }
 
+/// `obr-cli serve <dir> [--addr A] [--pages N] [--segment-bytes B]
+/// [--max-sessions N] [--queue N]`: serve the durable database under
+/// `<dir>` over TCP until `quit` is typed or stdin closes.
+///
+/// An existing database is opened and recovered; a missing one is
+/// created with `--pages` pages. The admission knobs mirror
+/// [`obr::core::EngineConfig`]: `--max-sessions` bounds concurrent
+/// connections past the handshake, `--queue` bounds in-flight data-plane
+/// requests; excess load is answered with a typed `BUSY` error, never
+/// queued unboundedly (PROTOCOL.md §6). Shutdown drains in-flight
+/// sessions, takes a final checkpoint, and exits 0.
+fn run_serve(args: &[String]) -> ! {
+    const USAGE: &str = "usage: obr-cli serve <dir> [--addr A] [--pages N] \
+                         [--segment-bytes B] [--max-sessions N] [--queue N]";
+    let mut dir: Option<std::path::PathBuf> = None;
+    let mut addr = String::from("127.0.0.1:4140");
+    let mut pages = 16_384u32;
+    let mut cfg = obr::core::EngineConfig::default();
+    fn num(it: &mut std::slice::Iter<'_, String>, name: &str, usage: &str) -> u64 {
+        match it.next().and_then(|s| s.parse().ok()) {
+            Some(n) => n,
+            None => {
+                eprintln!("{name} needs a number\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => addr = a.clone(),
+                None => {
+                    eprintln!("--addr needs an address\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--pages" => pages = num(&mut it, "--pages", USAGE) as u32,
+            "--segment-bytes" => cfg.wal_segment_bytes = num(&mut it, "--segment-bytes", USAGE),
+            "--max-sessions" => cfg.max_sessions = num(&mut it, "--max-sessions", USAGE) as usize,
+            "--queue" => cfg.admission_queue = num(&mut it, "--queue", USAGE) as usize,
+            other if !other.starts_with("--") && dir.is_none() => {
+                dir = Some(std::path::PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unknown serve argument {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let db = if dir.join("pages.db").exists() {
+        let db =
+            Database::open_durable(&dir, 1024, SidePointerMode::TwoWay).expect("open database");
+        let report = recover(&db).expect("recovery");
+        println!(
+            "recovered: {} records redone, {} units forward-completed",
+            report.redo_applied, report.forward_units_completed
+        );
+        db
+    } else {
+        println!("creating new database in {} ({pages} pages)", dir.display());
+        Database::create_durable_with_config(
+            &dir,
+            pages,
+            1024,
+            SidePointerMode::TwoWay,
+            cfg.clone(),
+        )
+        .expect("create database")
+    };
+    let server = obr::server::Server::start(
+        Arc::clone(&db),
+        obr::server::ServerConfig::from_engine(&addr, &cfg),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "serving {} on {} ({} sessions, queue {}); type quit to stop",
+        dir.display(),
+        server.local_addr(),
+        cfg.max_sessions,
+        cfg.admission_queue
+    );
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.unwrap_or_default();
+        match line.trim() {
+            "quit" | "exit" => break,
+            "" => {}
+            other => println!("unknown command {other:?}; type quit to stop"),
+        }
+    }
+    println!("draining sessions...");
+    match server.shutdown() {
+        Ok(()) => {
+            println!("bye");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("shutdown checkpoint failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `obr-cli client <addr> <op> [args...]`: one wire-protocol operation
+/// against a running `obr-cli serve` instance.
+fn run_client(args: &[String]) -> ! {
+    const USAGE: &str = "usage: obr-cli client <addr> <op> [args...]\n\
+                         \x20  ops: ping | get K | put K V | del K | scan LO HI [LIMIT]\n\
+                         \x20       stats | checkpoint | reorg [--force] | info";
+    let Some((addr, op)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let mut client = obr::server::Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(2);
+    });
+    let key = |s: &String| -> u64 {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("bad key {s:?}\n{USAGE}");
+            std::process::exit(2);
+        })
+    };
+    let strs: Vec<&str> = op.iter().map(String::as_str).collect();
+    let outcome: Result<(), obr::server::ClientError> = match strs.as_slice() {
+        ["ping"] => client.ping().map(|()| println!("pong")),
+        ["get", k] => client.get(key(&k.to_string())).map(|v| match v {
+            Some(v) => println!("{}", String::from_utf8_lossy(&v)),
+            None => println!("(nil)"),
+        }),
+        ["put", k, v] => client
+            .put(key(&k.to_string()), v.as_bytes())
+            .map(|()| println!("ok")),
+        ["del", k] => client
+            .delete(key(&k.to_string()))
+            .map(|v| println!("deleted {}", String::from_utf8_lossy(&v))),
+        ["scan", lo, hi] | ["scan", lo, hi, _] => {
+            let limit = strs
+                .get(3)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(obr::server::proto::DEFAULT_SCAN_LIMIT);
+            client
+                .scan(key(&lo.to_string()), key(&hi.to_string()), limit)
+                .map(|(rows, truncated)| {
+                    for (k, v) in &rows {
+                        println!("{k} = {}", String::from_utf8_lossy(v));
+                    }
+                    println!(
+                        "({} rows{})",
+                        rows.len(),
+                        if truncated { ", truncated" } else { "" }
+                    );
+                })
+        }
+        ["stats"] => client.stats().map(|json| println!("{json}")),
+        ["checkpoint"] => client.checkpoint().map(|()| println!("ok")),
+        ["reorg"] | ["reorg", "--force"] => {
+            client
+                .reorg(strs.get(1) == Some(&"--force"))
+                .map(|(compacted, swapped, shrunk)| {
+                    println!("compacted={compacted} swapped={swapped} shrunk={shrunk}");
+                })
+        }
+        ["info"] => client.db_info().map(|info| {
+            println!(
+                "pages={} side_mode={:?} first_lsn={} durable_lsn={}",
+                info.pages, info.side_mode, info.first_lsn.0, info.durable_lsn.0
+            );
+        }),
+        _ => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    match outcome {
+        Ok(()) => {
+            let _ = client.bye();
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `obr-cli scenario <name>|all [--dir DIR] [--clients N] [--scale F]
+/// [--out PATH] [--snapshots DIR]`: run the scripted end-to-end scenario
+/// suite against a real server over loopback TCP.
+fn run_scenarios(args: &[String]) -> ! {
+    const USAGE: &str = "usage: obr-cli scenario <name>|all [--dir DIR] [--clients N] \
+                         [--scale F] [--out PATH] [--snapshots DIR]";
+    let mut which: Option<String> = None;
+    let mut opts = obr::server::ScenarioOptions::default();
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dir" => match it.next() {
+                Some(p) => opts.dir = std::path::PathBuf::from(p),
+                None => {
+                    eprintln!("--dir needs a directory\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--clients" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.clients = n,
+                None => {
+                    eprintln!("--clients needs a number\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--scale" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(f) => opts.scale = f,
+                None => {
+                    eprintln!("--scale needs a number\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out = Some(std::path::PathBuf::from(p)),
+                None => {
+                    eprintln!("--out needs a path\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--snapshots" => match it.next() {
+                Some(p) => opts.snapshots_dir = Some(std::path::PathBuf::from(p)),
+                None => {
+                    eprintln!("--snapshots needs a directory\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            other if !other.starts_with("--") && which.is_none() => {
+                which = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown scenario argument {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(which) = which else {
+        eprintln!(
+            "{USAGE}\n  scenarios: {}",
+            obr::server::SCENARIOS.join(", ")
+        );
+        std::process::exit(2);
+    };
+    let names: Vec<&str> = if which == "all" {
+        obr::server::SCENARIOS.to_vec()
+    } else if obr::server::SCENARIOS.contains(&which.as_str()) {
+        vec![which.as_str()]
+    } else {
+        eprintln!(
+            "unknown scenario {which:?}; known: {} (or `all`)",
+            obr::server::SCENARIOS.join(", ")
+        );
+        std::process::exit(2);
+    };
+    let mut reports = Vec::new();
+    let mut failed = false;
+    for name in names {
+        println!("== scenario: {name}");
+        match obr::server::run_scenario(name, &opts) {
+            Ok(report) => {
+                for p in &report.phases {
+                    println!("  {:<16} {:>7} ops, {} errors", p.name, p.ops, p.errors);
+                }
+                println!(
+                    "  {} ({} ops total): {}",
+                    name,
+                    report.total_ops(),
+                    if report.check_clean {
+                        "check clean"
+                    } else {
+                        failed = true;
+                        "CHECK DIRTY"
+                    }
+                );
+                if !report.check_clean {
+                    println!("  {}", report.check_summary);
+                }
+                reports.push(report);
+            }
+            Err(e) => {
+                println!("  FAILED: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = out {
+        let mut body = String::from("[\n");
+        for (i, r) in reports.iter().enumerate() {
+            body.push_str(&r.to_json());
+            body.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+        }
+        body.push_str("]\n");
+        if let Err(e) = std::fs::write(&path, &body) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        println!("reports written to {}", path.display());
+    }
+    std::process::exit(i32::from(failed));
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("check") {
@@ -579,6 +921,15 @@ fn main() {
     }
     if raw.first().map(String::as_str) == Some("replica") {
         run_replica(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("serve") {
+        run_serve(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("client") {
+        run_client(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("scenario") {
+        run_scenarios(&raw[1..]);
     }
     let mut args = raw.into_iter();
     let Some(dir) = args.next() else {

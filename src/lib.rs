@@ -15,6 +15,10 @@
 //!   recovery) and the assembled [`core::Database`].
 //! * [`txn`] — transactional sessions (the §4.1.2/§4.1.3 protocols) and
 //!   workload generators.
+//! * [`server`] — the TCP network frontend: length-prefixed wire protocol
+//!   (PROTOCOL.md), per-connection sessions, admission control, WAL
+//!   segment shipping, and the scripted scenario suite
+//!   (`obr-cli serve` / `client` / `scenario`).
 //! * [`baseline`] — the Tandem-style comparator of §8.
 //! * [`check`] — static analysis: tree fsck, lock-protocol model checker,
 //!   WAL linter (`obr-cli check`).
@@ -40,6 +44,7 @@ pub use obr_check as check;
 pub use obr_core as core;
 pub use obr_lock as lock;
 pub use obr_obs as obs;
+pub use obr_server as server;
 pub use obr_storage as storage;
 pub use obr_txn as txn;
 pub use obr_wal as wal;

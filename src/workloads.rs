@@ -12,6 +12,12 @@
 //! * [`scripted_reorg_trace`] — a fully deterministic single-threaded
 //!   three-pass reorganization whose trace-event stream is stable across
 //!   runs; the golden trace-schema test and `obr-cli trace` both use it.
+//!
+//! Both drive the engine in-process. Their wire-level counterpart is the
+//! scenario suite of [`obr::server::scenario`](obr_server::scenario)
+//! (`obr-cli scenario`), which runs the same shapes of work — churn,
+//! sparsification, reorg-under-load, crash-restart — through a real TCP
+//! server and concurrent network clients instead of direct sessions.
 
 use obr_sync::atomic::AtomicBool;
 use std::path::Path;
